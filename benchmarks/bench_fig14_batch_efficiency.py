@@ -1,0 +1,50 @@
+"""Figs. 13-14: FCN batch optimization and per-layer-type efficiency.
+
+Paper claims: (1) the FPGA batch loop (Fig. 13) makes FCN energy-efficiency
+improve with batch size, like the GPU's; (2) FPGA CONV efficiency is flat in
+batch size (Eq. 4 has no batch term) while GPU CONV efficiency improves;
+(3) overall (CONV+FCN) GPU efficiency beats FPGA — which is why
+Single-running mode lives on the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.reports.figures import fig14_rows
+
+
+def bench_fig14_batch_efficiency(benchmark, alexnet, tables):
+    rows = benchmark.pedantic(
+        fig14_rows, args=(alexnet,), rounds=1, iterations=1
+    )
+    tables(
+        "Fig. 13-14 — perf/W (img/s/W) by layer type",
+        [
+            "batch", "GPU conv", "GPU fc", "FPGA conv",
+            "FPGA fc (no opt)", "FPGA fc (batch opt)", "GPU all", "FPGA all",
+        ],
+        [
+            [
+                r["batch"],
+                f"{r['gpu_conv']:.1f}",
+                f"{r['gpu_fc']:.1f}",
+                f"{r['fpga_conv']:.1f}",
+                f"{r['fpga_fc_nobatch']:.1f}",
+                f"{r['fpga_fc_batch']:.1f}",
+                f"{r['gpu_all']:.1f}",
+                f"{r['fpga_all']:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    first, last = rows[0], rows[-1]
+    # FPGA conv efficiency flat across batches.
+    assert abs(last["fpga_conv"] - first["fpga_conv"]) < 1e-6
+    # GPU conv efficiency improves with batch.
+    assert last["gpu_conv"] > first["gpu_conv"]
+    # Without the batch loop, FPGA FCN efficiency stays flat...
+    assert abs(last["fpga_fc_nobatch"] - first["fpga_fc_nobatch"]) < 0.5
+    # ...with it, efficiency improves with batch (Fig. 13's point).
+    assert last["fpga_fc_batch"] > 2 * first["fpga_fc_batch"]
+    # GPU overall efficiency beats FPGA at every batch size.
+    for r in rows:
+        assert r["gpu_all"] > r["fpga_all"]

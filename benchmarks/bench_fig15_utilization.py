@@ -1,0 +1,33 @@
+"""Fig. 15: resource utilization, GPU (Eq. 3) vs FPGA (Eq. 4).
+
+Paper claim: batching raises the GPU's grid size and hence utilization;
+FPGA utilization is a function of layer shape and unrolling only — batch
+size does not appear in Eq. (4).
+"""
+
+from __future__ import annotations
+
+from repro.reports.figures import fig15_rows
+
+
+def bench_fig15_utilization(benchmark, alexnet, tables):
+    rows = benchmark.pedantic(
+        fig15_rows, args=(alexnet,), rounds=1, iterations=1
+    )
+    tables(
+        "Fig. 15 — resource utilization vs batch",
+        ["batch", "GPU fc6 util", "GPU conv3 util", "FPGA conv3 util"],
+        [
+            [
+                r["batch"],
+                f"{r['gpu_fc6']:.2f}",
+                f"{r['gpu_conv3']:.2f}",
+                f"{r['fpga_conv3']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    # GPU fc6 utilization improves with batch (more grid blocks).
+    assert rows[-1]["gpu_fc6"] >= rows[0]["gpu_fc6"]
+    # FPGA utilization is identical at every batch size.
+    assert len({r["fpga_conv3"] for r in rows}) == 1

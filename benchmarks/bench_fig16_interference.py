@@ -1,0 +1,34 @@
+"""Fig. 16: interference between inference and diagnosis on a shared GPU.
+
+Paper claim: co-running the two tasks on the mobile GPU inflates inference
+latency by up to 3X, which is why Co-running mode moves to the FPGA with
+spatially partitioned engines.
+"""
+
+from __future__ import annotations
+
+from repro.reports.figures import fig16_rows
+
+
+def bench_fig16_interference(benchmark, alexnet, tables):
+    rows = benchmark.pedantic(
+        fig16_rows, args=(alexnet,), rounds=1, iterations=1
+    )
+    tables(
+        "Fig. 16 — GPU co-running interference",
+        ["diag duty", "inf solo ms", "inf co-run ms", "slowdown"],
+        [
+            [
+                f"{r['duty']:.2f}",
+                f"{r['result'].inference_solo_s * 1e3:.1f}",
+                f"{r['result'].inference_corun_s * 1e3:.1f}",
+                f"{r['result'].inference_slowdown:.2f}x",
+            ]
+            for r in rows
+        ],
+    )
+    slowdowns = [r["result"].inference_slowdown for r in rows]
+    # Monotone in diagnosis duty; reaches ~3X at full duty.
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[0] == 1.0
+    assert 2.0 < slowdowns[-1] < 4.0

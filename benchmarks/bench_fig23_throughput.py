@@ -1,0 +1,61 @@
+"""Fig. 23: overall pipeline throughput under latency requirements.
+
+Paper claims: NWS (no FCN batching) cannot raise throughput even at 800 ms;
+WS underutilizes resources, always produces the lowest throughput, and
+fails the 50 ms requirement; WSS-NWS achieves the best throughput at every
+requirement — its 50 ms throughput already beats NWS-batch's 800 ms best.
+"""
+
+from __future__ import annotations
+
+from repro.hw.pipeline import ARCH_FACTORIES
+from repro.reports.figures import fig23_rows
+
+REQS_MS = (50, 100, 200, 400, 800)
+
+
+def bench_fig23_throughput(benchmark, alexnet, tables):
+    rows = benchmark.pedantic(
+        fig23_rows, args=(alexnet,), rounds=1, iterations=1
+    )
+    tables(
+        "Fig. 23 — max throughput (img/s) vs latency requirement",
+        ["req ms"] + list(ARCH_FACTORIES),
+        [
+            [req]
+            + [
+                next(
+                    "x"
+                    if r["ips"] is None
+                    else f"{r['ips']:.0f} (B{r['batch']})"
+                    for r in rows
+                    if r["req_ms"] == req and r["arch"] == arch
+                )
+                for arch in ARCH_FACTORIES
+            ]
+            for req in REQS_MS
+        ],
+    )
+    get = lambda req, arch: next(
+        r for r in rows if r["req_ms"] == req and r["arch"] == arch
+    )
+    # WS misses the 50 ms requirement.
+    assert get(50, "WS")["ips"] is None
+    # WSS-NWS meets it and is best at every requirement level.
+    assert get(50, "WSS-NWS")["ips"] is not None
+    for req in REQS_MS:
+        wss = get(req, "WSS-NWS")["ips"]
+        for arch in ("NWS", "NWS-batch", "WS"):
+            other = get(req, arch)["ips"]
+            if other is not None:
+                assert wss >= other
+    # WS always produces the lowest throughput where it runs at all.
+    for req in REQS_MS[1:]:
+        ws = get(req, "WS")["ips"]
+        assert all(
+            ws <= get(req, a)["ips"] for a in ("NWS", "NWS-batch", "WSS-NWS")
+        )
+    # WSS-NWS at 50 ms beats NWS-batch's best at 800 ms.
+    assert get(50, "WSS-NWS")["ips"] > get(800, "NWS-batch")["ips"]
+    # NWS throughput is flat: looser latency buys nothing without batching.
+    assert get(800, "NWS")["ips"] < 1.2 * get(100, "NWS")["ips"]

@@ -1,0 +1,99 @@
+"""Design-space exploration with the analytical hardware models.
+
+A tour of the hardware substrate for architects: batch-size trade-offs on
+the mobile GPU (Eqs. 2-9), FPGA engine shaping, the NWS/WS/WSS comparison
+at equal PE budget, and how the weight-sharing depth chosen by the learning
+experiments (CONV-3) shows up as off-chip traffic savings.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.hw import (
+    TX1,
+    VX690T,
+    NWSArch,
+    TmTnEngine,
+    WSArch,
+    WSSArch,
+)
+from repro.hw import gpu as gpu_model
+from repro.models import alexnet_spec, diagnosis_spec, vgg16_spec
+
+
+def gpu_batch_tradeoff() -> None:
+    print("== GPU batch-size trade-off (AlexNet on TX1) ==")
+    net = alexnet_spec()
+    print(f"{'batch':>6} {'latency ms':>11} {'img/s':>8} {'img/s/W':>8} "
+          f"{'FCN share':>10}")
+    for batch in (1, 2, 4, 8, 16, 32, 64):
+        t = gpu_model.network_time(net, TX1, batch)
+        ppw = gpu_model.perf_per_watt(net, TX1, batch)
+        print(
+            f"{batch:>6} {t.total_s * 1e3:>11.1f} "
+            f"{t.throughput_ips:>8.1f} {ppw:>8.2f} "
+            f"{t.fc_s / t.total_s:>10.1%}"
+        )
+    limit = gpu_model.max_batch_under_memory(net, TX1)
+    print(f"memory model (Eq. 9): max diagnosis batch = {limit}\n")
+
+
+def fpga_engine_shaping() -> None:
+    print("== FPGA engine shaping (Tm/Tn search) ==")
+    for spec in (alexnet_spec(), vgg16_spec()):
+        for budget in (512, 2048):
+            tuned = TmTnEngine.best_for(spec.conv_layers, budget)
+            naive = TmTnEngine.from_budget(budget)
+            tuned_c = sum(tuned.conv_cycles(s) for s in spec.conv_layers)
+            naive_c = sum(naive.conv_cycles(s) for s in spec.conv_layers)
+            print(
+                f"  {spec.name:8s} @ {budget:4d} PEs: tuned "
+                f"{tuned.tm}x{tuned.tn} beats square {naive.tm}x{naive.tn} "
+                f"by {naive_c / tuned_c:.2f}x"
+            )
+    print()
+
+
+def corunning_architectures() -> None:
+    print("== Co-running CONV architectures @ 2628 PEs (Fig. 22) ==")
+    inf = alexnet_spec()
+    diag = diagnosis_spec(inf)
+    archs = (
+        NWSArch(2628, shape_for=inf.conv_layers),
+        WSArch(2628, shape_for=inf.conv_layers),
+        WSSArch(2628),
+    )
+    for arch in archs:
+        for depth in (0, 3, 5):
+            rt = arch.conv_runtime(inf, diag, VX690T, shared_depth=depth)
+            print(
+                f"  {arch.name:4s} CONV-{depth}: compute "
+                f"{rt.compute_s * 1e3:6.2f} ms, weight access "
+                f"{rt.weight_access_s * 1e3:5.2f} ms, diagnosis idle "
+                f"{rt.diagnosis_idle_fraction:4.0%}"
+            )
+    print()
+
+
+def sharing_depth_traffic() -> None:
+    print("== Weight traffic saved by sharing depth (WSS) ==")
+    inf = alexnet_spec()
+    diag = diagnosis_spec(inf)
+    arch = WSSArch(2628)
+    base = arch.conv_runtime(inf, diag, VX690T, shared_depth=0)
+    for depth in range(6):
+        rt = arch.conv_runtime(inf, diag, VX690T, shared_depth=depth)
+        saved = 1 - rt.weight_access_s / base.weight_access_s
+        print(f"  CONV-{depth}: off-chip weight time saved {saved:5.1%}")
+
+
+def main() -> None:
+    gpu_batch_tradeoff()
+    fpga_engine_shaping()
+    corunning_architectures()
+    sharing_depth_traffic()
+
+
+if __name__ == "__main__":
+    main()

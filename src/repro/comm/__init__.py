@@ -1,0 +1,13 @@
+"""Cloud <-> node communication substrate."""
+
+from repro.comm.link import JPEG_IMAGE_BYTES, LTE, WIFI, NetworkLink
+from repro.comm.movement import DataMovementLedger, StageMovement
+
+__all__ = [
+    "DataMovementLedger",
+    "JPEG_IMAGE_BYTES",
+    "LTE",
+    "NetworkLink",
+    "StageMovement",
+    "WIFI",
+]

@@ -1,0 +1,70 @@
+"""Cloud <-> node network link model.
+
+The paper's data-movement and energy claims (Table II, Fig. 25) rest on how
+many bytes travel from the IoT node to the Cloud.  :class:`NetworkLink`
+converts image counts into transfer time and energy using per-byte costs
+typical of the radios an edge node would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkLink", "WIFI", "LTE", "JPEG_IMAGE_BYTES"]
+
+#: typical camera-trap JPEG at modest resolution
+JPEG_IMAGE_BYTES = 150_000
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A node-to-cloud uplink.
+
+    ``energy_per_byte_j`` is the *node-side* radio energy; transfer energy
+    is what the battery pays for every uploaded image.
+    """
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+    energy_per_byte_j: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0 or self.energy_per_byte_j < 0:
+            raise ValueError("latency and energy must be >= 0")
+
+    def transfer_time_s(self, num_bytes: int) -> float:
+        """Seconds to push ``num_bytes`` upstream (one logical transfer)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes * 8.0 / self.bandwidth_bps
+
+    def transfer_energy_j(self, num_bytes: int) -> float:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        return num_bytes * self.energy_per_byte_j
+
+    def image_upload_time_s(
+        self, images: int, image_bytes: int = JPEG_IMAGE_BYTES
+    ) -> float:
+        return self.transfer_time_s(images * image_bytes)
+
+    def image_upload_energy_j(
+        self, images: int, image_bytes: int = JPEG_IMAGE_BYTES
+    ) -> float:
+        return self.transfer_energy_j(images * image_bytes)
+
+
+#: 802.11n-class uplink: 20 Mbit/s sustained, ~100 nJ/byte at the radio
+WIFI = NetworkLink(
+    name="WiFi", bandwidth_bps=20e6, latency_s=0.05, energy_per_byte_j=100e-9
+)
+
+#: LTE Cat-4 uplink: 10 Mbit/s sustained, radios cost more per byte
+LTE = NetworkLink(
+    name="LTE", bandwidth_bps=10e6, latency_s=0.12, energy_per_byte_j=350e-9
+)

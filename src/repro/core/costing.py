@@ -1,0 +1,99 @@
+"""Node cost models for the two working modes.
+
+The :class:`~repro.core.node.InSituNode` separates *decisions* (made by the
+trainable IoT-scale networks) from *costs* (time and energy of running the
+full-size networks on the node device).  A costing object maps image counts
+to modeled (seconds, joules) pairs for each task:
+
+* :class:`GPUSingleRunningCost` — the TX1 in Single-running mode: tasks
+  time-share the device at their planner-chosen batch sizes.
+* :class:`FPGACoRunningCost` — the VX690T running a WSS-NWS pipeline
+  design: both tasks advance together at the pipeline's throughput, at flat
+  board power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gpu import network_time
+from repro.hw.pipeline import PipelineTiming
+from repro.hw.specs import FPGASpec, GPUSpec
+from repro.models.layer_specs import NetworkSpec
+
+__all__ = ["TaskCost", "GPUSingleRunningCost", "FPGACoRunningCost"]
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Modeled cost of running one task over some images."""
+
+    seconds: float
+    joules: float
+
+
+class GPUSingleRunningCost:
+    """Single-running mode costing on a mobile GPU."""
+
+    def __init__(
+        self,
+        inference_spec: NetworkSpec,
+        diagnosis_spec: NetworkSpec,
+        gpu: GPUSpec,
+        *,
+        inference_batch: int = 4,
+        diagnosis_batch: int = 32,
+        num_patches: int = 9,
+    ) -> None:
+        self.inference_spec = inference_spec
+        self.diagnosis_spec = diagnosis_spec
+        self.gpu = gpu
+        self.inference_batch = inference_batch
+        self.diagnosis_batch = diagnosis_batch
+        self.num_patches = num_patches
+
+    def inference_cost(self, images: int) -> TaskCost:
+        if images < 0:
+            raise ValueError("images must be >= 0")
+        timing = network_time(self.inference_spec, self.gpu, self.inference_batch)
+        batches = -(-images // self.inference_batch) if images else 0
+        busy = batches * timing.total_s
+        return TaskCost(busy, busy * self.gpu.power(timing.mean_utilization))
+
+    def diagnosis_cost(self, images: int) -> TaskCost:
+        if images < 0:
+            raise ValueError("images must be >= 0")
+        if images == 0:
+            return TaskCost(0.0, 0.0)
+        timing = network_time(self.diagnosis_spec, self.gpu, self.diagnosis_batch)
+        per_image = (
+            timing.conv_s * self.num_patches + timing.fc_s
+        ) / self.diagnosis_batch
+        busy = per_image * images
+        return TaskCost(busy, busy * self.gpu.power(timing.mean_utilization))
+
+
+class FPGACoRunningCost:
+    """Co-running mode costing on the FPGA pipeline.
+
+    The pipeline processes inference and diagnosis for every image in the
+    same rounds, so both tasks' per-image time is the pipeline's inverse
+    throughput; the board draws flat power while busy.  Diagnosis is
+    reported at zero marginal cost — its engines are dedicated silicon that
+    runs concurrently inside the same rounds.
+    """
+
+    def __init__(self, timing: PipelineTiming, fpga: FPGASpec) -> None:
+        self.timing = timing
+        self.fpga = fpga
+
+    def inference_cost(self, images: int) -> TaskCost:
+        if images < 0:
+            raise ValueError("images must be >= 0")
+        busy = images / self.timing.throughput_ips
+        return TaskCost(busy, busy * self.fpga.power_w)
+
+    def diagnosis_cost(self, images: int) -> TaskCost:
+        if images < 0:
+            raise ValueError("images must be >= 0")
+        return TaskCost(0.0, 0.0)

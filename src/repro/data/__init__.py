@@ -1,0 +1,35 @@
+"""Synthetic IoT data substrate: procedural images, drift, datasets, streams."""
+
+from repro.data.datasets import Dataset, make_dataset
+from repro.data.drift import (
+    DriftModel,
+    close_up,
+    low_illumination,
+    motion_blur,
+    occlude,
+    random_pose,
+    sensor_noise,
+)
+from repro.data.images import NUM_SHAPE_CLASSES, ImageGenerator, ShapeParams
+from repro.data.io import load_dataset, save_dataset
+from repro.data.stream import PAPER_SCHEDULE_K, AcquisitionStage, IoTStream
+
+__all__ = [
+    "AcquisitionStage",
+    "Dataset",
+    "DriftModel",
+    "ImageGenerator",
+    "IoTStream",
+    "NUM_SHAPE_CLASSES",
+    "PAPER_SCHEDULE_K",
+    "ShapeParams",
+    "close_up",
+    "load_dataset",
+    "low_illumination",
+    "make_dataset",
+    "save_dataset",
+    "motion_blur",
+    "occlude",
+    "random_pose",
+    "sensor_noise",
+]

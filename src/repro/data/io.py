@@ -1,0 +1,39 @@
+"""Dataset persistence.
+
+Edge deployments checkpoint their acquisition archives; the Cloud snapshots
+its training sets next to model versions.  Datasets round-trip through a
+single ``.npz`` file carrying images, labels, the labeled flag, and scalar
+metadata.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(data: Dataset, path: str) -> None:
+    """Write a dataset to ``path`` as compressed npz."""
+    np.savez_compressed(
+        path,
+        images=data.images,
+        labels=data.labels,
+        labeled=np.array(data.labeled),
+        meta=np.array(json.dumps(data.meta)),
+    )
+
+
+def load_dataset(path: str) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return Dataset(
+            archive["images"],
+            archive["labels"],
+            labeled=bool(archive["labeled"]),
+            meta=json.loads(str(archive["meta"])),
+        )

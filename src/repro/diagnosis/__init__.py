@@ -1,0 +1,27 @@
+"""Autonomous IoT data diagnosis: flag unrecognized (valuable) samples."""
+
+from repro.diagnosis.diagnoser import (
+    Diagnoser,
+    InferenceConfidenceDiagnoser,
+    JigsawDiagnoser,
+    OracleDiagnoser,
+    RandomDiagnoser,
+)
+from repro.diagnosis.policy import (
+    BudgetedDiagnoser,
+    DiagnosisReport,
+    calibrate_threshold,
+    evaluate_diagnoser,
+)
+
+__all__ = [
+    "BudgetedDiagnoser",
+    "DiagnosisReport",
+    "Diagnoser",
+    "InferenceConfidenceDiagnoser",
+    "JigsawDiagnoser",
+    "OracleDiagnoser",
+    "RandomDiagnoser",
+    "calibrate_threshold",
+    "evaluate_diagnoser",
+]

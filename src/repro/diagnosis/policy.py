@@ -1,0 +1,110 @@
+"""Diagnosis calibration and upload policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.diagnosis.diagnoser import Diagnoser
+
+__all__ = [
+    "calibrate_threshold",
+    "BudgetedDiagnoser",
+    "DiagnosisReport",
+    "evaluate_diagnoser",
+]
+
+
+def calibrate_threshold(scores: np.ndarray, target_fraction: float) -> float:
+    """Threshold such that ~``target_fraction`` of scores fall below it.
+
+    Used to calibrate score-based diagnosers against an upload budget: flag
+    the lowest-scoring ``target_fraction`` of samples.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("cannot calibrate on zero scores")
+    if not 0.0 <= target_fraction <= 1.0:
+        raise ValueError("target_fraction must be in [0, 1]")
+    if target_fraction == 0.0:
+        return float(scores.min()) - 1e-9
+    if target_fraction == 1.0:
+        return float(scores.max()) + 1e-9
+    return float(np.quantile(scores, target_fraction))
+
+
+class BudgetedDiagnoser(Diagnoser):
+    """Cap another diagnoser's upload fraction at a hard budget.
+
+    Battery- or bandwidth-limited nodes cannot always afford to upload
+    everything a diagnoser flags.  When the base diagnoser exposes a
+    ``score`` method (low score = more valuable), the budget keeps the
+    lowest-scoring flagged samples; otherwise a uniform random subset of
+    the flags is kept.
+    """
+
+    def __init__(
+        self,
+        base: Diagnoser,
+        budget_fraction: float,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in [0, 1]")
+        self.base = base
+        self.budget_fraction = budget_fraction
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def flags(self, data: Dataset) -> np.ndarray:
+        flags = self.base.flags(data)
+        limit = int(np.floor(self.budget_fraction * len(data)))
+        flagged = int(flags.sum())
+        if flagged <= limit:
+            return flags
+        indices = np.flatnonzero(flags)
+        if hasattr(self.base, "score"):
+            scores = self.base.score(data)[indices]
+            keep = indices[np.argsort(scores)[:limit]]
+        else:
+            keep = self.rng.choice(indices, size=limit, replace=False)
+        capped = np.zeros_like(flags)
+        capped[keep] = True
+        return capped
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """Quality of a diagnoser measured against the misclassification oracle."""
+
+    upload_fraction: float
+    precision: float  # flagged samples that were actually misclassified
+    recall: float  # misclassified samples that were flagged
+    error_rate: float  # overall misclassification rate of the model
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_diagnoser(
+    diagnoser: Diagnoser, oracle: Diagnoser, data: Dataset
+) -> DiagnosisReport:
+    """Score a diagnoser's flags against ground-truth misclassification."""
+    if len(data) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    flagged = diagnoser.flags(data)
+    wrong = oracle.flags(data)
+    true_pos = float(np.logical_and(flagged, wrong).sum())
+    precision = true_pos / flagged.sum() if flagged.any() else 0.0
+    recall = true_pos / wrong.sum() if wrong.any() else 1.0
+    return DiagnosisReport(
+        upload_fraction=float(flagged.mean()),
+        precision=float(precision),
+        recall=float(recall),
+        error_rate=float(wrong.mean()),
+    )

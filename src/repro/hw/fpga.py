@@ -1,0 +1,125 @@
+"""FPGA layer-time models: Eqs. (4), (11), (12) and the FCN batch
+optimization of Fig. 13.
+
+The FCN story on FPGA: without the batch loop, filter weights are re-read
+from off-chip for every input sample, so FCN layers are memory-bound at any
+batch size and energy-efficiency is flat.  With the batch loop (Fig. 13,
+green), weights are fetched once per batch and reused across the ``Bsize``
+samples — the same reuse the GPU gets from matrix-matrix multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.engines import TmTnEngine
+from repro.hw.specs import FPGASpec
+from repro.models.layer_specs import BYTES_PER_VALUE, LayerSpec, NetworkSpec
+
+__all__ = [
+    "conv_layer_time",
+    "fc_layer_time",
+    "fc_data_access_bytes",
+    "FPGANetworkTiming",
+    "network_time",
+    "perf_per_watt",
+]
+
+
+def conv_layer_time(
+    layer: LayerSpec, engine: TmTnEngine, fpga: FPGASpec, batch: int = 1
+) -> float:
+    """CONV layer runtime in seconds on a Tm/Tn engine."""
+    return engine.conv_cycles(layer, batch) / fpga.frequency_hz
+
+
+def fc_data_access_bytes(
+    layer: LayerSpec, batch: int, *, batch_optimized: bool
+) -> int:
+    """Off-chip traffic of an FCN layer.
+
+    ``batch_optimized`` is the Fig. 13 batch loop: weights once per batch
+    instead of once per sample.
+    """
+    if layer.kind != "fc":
+        raise ValueError(f"{layer.name} is not an FCN layer")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    weight_reads = 1 if batch_optimized else batch
+    values = (
+        layer.in_maps * batch
+        + layer.weight_count * weight_reads
+        + layer.out_maps * batch
+    )
+    return values * BYTES_PER_VALUE
+
+
+def fc_layer_time(
+    layer: LayerSpec,
+    engine: TmTnEngine,
+    fpga: FPGASpec,
+    batch: int = 1,
+    *,
+    batch_optimized: bool = True,
+) -> float:
+    """Eq. (12): max of compute and memory time for an FCN layer."""
+    compute_s = engine.fc_compute_cycles(layer, batch) / fpga.frequency_hz
+    memory_s = (
+        fc_data_access_bytes(layer, batch, batch_optimized=batch_optimized)
+        / fpga.mem_bandwidth_bps
+    )
+    return max(compute_s, memory_s)
+
+
+@dataclass(frozen=True)
+class FPGANetworkTiming:
+    """Whole-network FPGA timing at one batch size (single Tm/Tn engine,
+    layers processed back-to-back — the Single-running-style baseline used
+    for the Fig. 11/14 characterization)."""
+
+    network: NetworkSpec
+    batch: int
+    conv_s: float
+    fc_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.conv_s + self.fc_s
+
+    @property
+    def throughput_ips(self) -> float:
+        return self.batch / self.total_s
+
+
+def network_time(
+    network: NetworkSpec,
+    engine: TmTnEngine,
+    fpga: FPGASpec,
+    batch: int = 1,
+    *,
+    batch_optimized: bool = True,
+) -> FPGANetworkTiming:
+    conv_s = sum(
+        conv_layer_time(spec, engine, fpga, batch)
+        for spec in network.conv_layers
+    )
+    fc_s = sum(
+        fc_layer_time(spec, engine, fpga, batch, batch_optimized=batch_optimized)
+        for spec in network.fc_layers
+    )
+    return FPGANetworkTiming(network=network, batch=batch, conv_s=conv_s, fc_s=fc_s)
+
+
+def perf_per_watt(
+    network: NetworkSpec,
+    engine: TmTnEngine,
+    fpga: FPGASpec,
+    batch: int = 1,
+    *,
+    batch_optimized: bool = True,
+) -> float:
+    """Images/s/W on the FPGA (flat power model, per the paper's boards)."""
+    timing = network_time(
+        network, engine, fpga, batch, batch_optimized=batch_optimized
+    )
+    return timing.throughput_ips / fpga.power_w

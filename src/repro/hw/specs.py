@@ -1,0 +1,113 @@
+"""Device specifications for the platforms the paper characterizes.
+
+Constants come from public datasheets for the paper's testbed devices:
+NVIDIA Jetson TX1 (the mobile-GPU IoT platform), Xilinx Virtex-7 VX690T on
+the VC709 board (the FPGA IoT platform), and NVIDIA Titan X Maxwell (the
+Cloud training GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "FPGASpec", "TX1", "TITAN_X", "VX690T"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Parameters of the paper's GPU analytical model (Eqs. 2-3, 5-8).
+
+    ``tile_m`` x ``tile_n`` is the output sub-matrix computed per thread
+    block in the Volkov-Demmel style matrix multiply the paper's Fig. 8
+    assumes; ``max_blocks`` is how many blocks the device can keep resident
+    simultaneously.
+    """
+
+    name: str
+    frequency_hz: float
+    cuda_cores: int
+    max_blocks: int
+    tile_m: int
+    tile_n: int
+    mem_bandwidth_bps: float
+    mem_capacity_bytes: float
+    idle_power_w: float
+    peak_power_w: float
+
+    def __post_init__(self) -> None:
+        if min(self.frequency_hz, self.cuda_cores, self.max_blocks,
+               self.tile_m, self.tile_n, self.mem_bandwidth_bps,
+               self.mem_capacity_bytes) <= 0:
+            raise ValueError(f"{self.name}: non-positive spec value")
+        if not 0 <= self.idle_power_w <= self.peak_power_w:
+            raise ValueError(f"{self.name}: inconsistent power range")
+
+    @property
+    def max_ops(self) -> float:
+        """Eq. (7) with Util=1: peak ops/s (one FMA = 2 ops per core-cycle)."""
+        return 2.0 * self.frequency_hz * self.cuda_cores
+
+    def power(self, utilization: float) -> float:
+        """Board power at a given average utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        return self.idle_power_w + (self.peak_power_w - self.idle_power_w) * utilization
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """Parameters of the FPGA models (Eqs. 4, 10-13)."""
+
+    name: str
+    frequency_hz: float
+    dsp_slices: int
+    bram_bytes: float
+    mem_bandwidth_bps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if min(self.frequency_hz, self.dsp_slices, self.bram_bytes,
+               self.mem_bandwidth_bps, self.power_w) <= 0:
+            raise ValueError(f"{self.name}: non-positive spec value")
+
+
+#: NVIDIA Jetson TX1: 256 Maxwell cores @ ~1 GHz (512 GFLOP/s fp32),
+#: 25.6 GB/s LPDDR4, 4 GB shared (about 2.5 GB usable for the GPU workload).
+TX1 = GPUSpec(
+    name="NVIDIA Jetson TX1",
+    frequency_hz=0.998e9,
+    cuda_cores=256,
+    max_blocks=32,  # 2 SMs x 16 resident blocks
+    tile_m=32,
+    tile_n=32,
+    mem_bandwidth_bps=25.6e9,
+    mem_capacity_bytes=2.5 * 1024**3,
+    idle_power_w=4.0,
+    peak_power_w=15.0,
+)
+
+#: NVIDIA Titan X (Maxwell): 3072 cores @ 1.075 GHz (6.6 TFLOP/s fp32),
+#: 336 GB/s GDDR5, 12 GB, 250 W TDP.  The Cloud training device.
+TITAN_X = GPUSpec(
+    name="NVIDIA Titan X",
+    frequency_hz=1.075e9,
+    cuda_cores=3072,
+    max_blocks=384,  # 24 SMs x 16 resident blocks
+    tile_m=64,
+    tile_n=64,
+    mem_bandwidth_bps=336e9,
+    mem_capacity_bytes=12 * 1024**3,
+    idle_power_w=15.0,
+    peak_power_w=250.0,
+)
+
+#: Xilinx Virtex-7 VX690T on the VC709 board: 3600 DSP slices, ~53 Mb BRAM,
+#: DDR3 SODIMM at ~12.8 GB/s, running CNN designs at 150 MHz.
+VX690T = FPGASpec(
+    name="Xilinx Virtex-7 VX690T",
+    frequency_hz=150e6,
+    dsp_slices=3600,
+    bram_bytes=6.6e6,
+    mem_bandwidth_bps=12.8e9,
+    power_w=25.0,
+)

@@ -1,0 +1,52 @@
+"""Named model configurations mirroring the paper's model lineup.
+
+Table I compares AlexNet / GoogleNet / VGGNet — three capacities of ImageNet
+classifier.  At IoT scale we mirror that as three width multipliers of the
+shared 5-conv architecture; the ordering of capacity (and hence of accuracy,
+both on ideal and drifted data) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.iot_models import build_classifier
+from repro.nn import Sequential
+
+__all__ = ["ModelConfig", "MODEL_CONFIGS", "build_model"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A named trainable-model configuration."""
+
+    name: str
+    width: float
+    hidden: int
+    paper_counterpart: str
+
+    def build(self, num_classes: int, rng: np.random.Generator) -> Sequential:
+        return build_classifier(
+            num_classes, rng, width=self.width, hidden=self.hidden
+        )
+
+
+MODEL_CONFIGS: dict[str, ModelConfig] = {
+    "iot-alexnet": ModelConfig("iot-alexnet", 0.75, 96, "AlexNet"),
+    "iot-googlenet": ModelConfig("iot-googlenet", 1.0, 128, "GoogleNet"),
+    "iot-vggnet": ModelConfig("iot-vggnet", 1.5, 192, "VGGNet"),
+}
+
+
+def build_model(
+    name: str, num_classes: int, rng: np.random.Generator
+) -> Sequential:
+    try:
+        config = MODEL_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CONFIGS)}"
+        ) from None
+    return config.build(num_classes, rng)

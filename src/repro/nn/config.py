@@ -1,0 +1,42 @@
+"""Global numeric configuration for the framework.
+
+Training at IoT scale on CPU is memory-bandwidth bound, so the framework
+defaults to ``float32`` (as Caffe and the TX1 do).  Gradient-check tests
+switch to ``float64`` for headroom via :func:`set_default_dtype`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["default_dtype", "set_default_dtype", "dtype_scope"]
+
+_DEFAULT_DTYPE = np.float32
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new parameters and datasets are created with."""
+    return np.dtype(_DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype: np.dtype | type) -> None:
+    """Set the framework-wide default floating dtype."""
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be floating, got {resolved}")
+    _DEFAULT_DTYPE = resolved
+
+
+@contextmanager
+def dtype_scope(dtype: np.dtype | type) -> Iterator[None]:
+    """Temporarily switch the default dtype (used by gradient-check tests)."""
+    previous = default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)

@@ -1,0 +1,217 @@
+"""2-D convolution layer implemented with im2col matrix multiplication.
+
+This is the layer the whole paper revolves around: Eq. (1) measures its op
+count, the GPU model times its matmul form (Fig. 8), and the FPGA engines in
+``repro.hw`` execute its loop-nest form (Fig. 9).  The numerical layer here
+is the *functional* reference those hardware models are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.base import Layer, Shape
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.init import he_normal
+from repro.nn.tensor import Parameter
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Square-kernel 2-D convolution over NCHW batches.
+
+    Parameters
+    ----------
+    in_channels:
+        ``N`` in the paper's notation — number of input feature maps.
+    out_channels:
+        ``M`` — number of filters / output feature maps.
+    kernel:
+        ``K`` — square kernel side.
+    stride, pad:
+        Convolution geometry.
+    groups:
+        Channel groups (AlexNet's two-tower convs use 2): input and output
+        channels are split into ``groups`` independent convolutions.
+    rng:
+        Generator for He-normal weight init; required so model builds are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        *,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+        name: str = "conv",
+    ) -> None:
+        if min(in_channels, out_channels, kernel, stride, groups) < 1:
+            raise ValueError("conv dimensions must be >= 1")
+        if pad < 0:
+            raise ValueError("pad must be >= 0")
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels} -> {out_channels}) must divide "
+                f"evenly into {groups} groups"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.groups = groups
+        self.name = name
+        fan_in = (in_channels // groups) * kernel * kernel
+        self.weight = Parameter(
+            he_normal(
+                (out_channels, in_channels // groups, kernel, kernel),
+                fan_in,
+                rng,
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        #: set True (e.g. by Sequential) when no upstream layer consumes the
+        #: input gradient, letting backward skip the expensive col2im scatter
+        self.skip_input_grad = False
+        self._cache: tuple[np.ndarray, Shape] | None = None
+
+    @property
+    def parameters(self) -> Sequence[Parameter]:
+        return (self.weight, self.bias)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} channels, "
+                f"got {channels}"
+            )
+        out_h = conv_output_size(height, self.kernel, self.stride, self.pad)
+        out_w = conv_output_size(width, self.kernel, self.stride, self.pad)
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if self.groups == 1:
+            return self._forward_dense(x, training=training)
+        return self._forward_grouped(x, training=training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        if self.groups == 1:
+            return self._backward_dense(grad_out)
+        return self._backward_grouped(grad_out)
+
+    # ------------------------------------------------------------------
+    # groups == 1 (the common path)
+    # ------------------------------------------------------------------
+    def _forward_dense(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        batch = x.shape[0]
+        _, out_h, out_w = self.output_shape(x.shape[1:])
+        cols = im2col(x, self.kernel, self.stride, self.pad)
+        # Fm (M x NK^2) @ Dm^T, computed as Dm_rows @ Fm^T for cache locality.
+        flat_w = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ flat_w.T + self.bias.data
+        if training:
+            self._cache = (cols, x.shape)
+        return (
+            out.reshape(batch, out_h, out_w, self.out_channels)
+            .transpose(0, 3, 1, 2)
+        )
+
+    def _backward_dense(self, grad_out: np.ndarray) -> np.ndarray:
+        cols, x_shape = self._cache
+        self._cache = None
+        batch, _, out_h, out_w = grad_out.shape
+        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        flat_w = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.accumulate(
+            (grad_rows.T @ cols).reshape(self.weight.data.shape)
+        )
+        self.bias.accumulate(grad_rows.sum(axis=0))
+        if self.skip_input_grad:
+            return np.zeros(x_shape, dtype=grad_out.dtype)
+        grad_cols = grad_rows @ flat_w
+        return col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+
+    # ------------------------------------------------------------------
+    # groups > 1 (AlexNet's two-tower convolutions)
+    # ------------------------------------------------------------------
+    def _forward_grouped(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        batch = x.shape[0]
+        _, out_h, out_w = self.output_shape(x.shape[1:])
+        in_per = self.in_channels // self.groups
+        out_per = self.out_channels // self.groups
+        group_cols = []
+        out = np.empty(
+            (batch * out_h * out_w, self.out_channels), dtype=x.dtype
+        )
+        for g in range(self.groups):
+            cols = im2col(
+                x[:, g * in_per : (g + 1) * in_per],
+                self.kernel,
+                self.stride,
+                self.pad,
+            )
+            group_cols.append(cols)
+            w_g = self.weight.data[g * out_per : (g + 1) * out_per].reshape(
+                out_per, -1
+            )
+            out[:, g * out_per : (g + 1) * out_per] = cols @ w_g.T
+        out += self.bias.data
+        if training:
+            self._cache = (group_cols, x.shape)
+        return (
+            out.reshape(batch, out_h, out_w, self.out_channels)
+            .transpose(0, 3, 1, 2)
+        )
+
+    def _backward_grouped(self, grad_out: np.ndarray) -> np.ndarray:
+        group_cols, x_shape = self._cache
+        self._cache = None
+        batch, _, out_h, out_w = grad_out.shape
+        in_per = self.in_channels // self.groups
+        out_per = self.out_channels // self.groups
+        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        self.bias.accumulate(grad_rows.sum(axis=0))
+        grad_in = (
+            None
+            if self.skip_input_grad
+            else np.empty(x_shape, dtype=grad_out.dtype)
+        )
+        for g in range(self.groups):
+            rows_g = grad_rows[:, g * out_per : (g + 1) * out_per]
+            cols = group_cols[g]
+            grad_w = (rows_g.T @ cols).reshape(
+                out_per, in_per, self.kernel, self.kernel
+            )
+            if not self.weight.frozen:
+                self.weight.grad[g * out_per : (g + 1) * out_per] += grad_w
+            if grad_in is not None:
+                w_g = self.weight.data[
+                    g * out_per : (g + 1) * out_per
+                ].reshape(out_per, -1)
+                grad_cols = rows_g @ w_g
+                group_shape = (x_shape[0], in_per, x_shape[2], x_shape[3])
+                grad_in[:, g * in_per : (g + 1) * in_per] = col2im(
+                    grad_cols, group_shape, self.kernel, self.stride, self.pad
+                )
+        if grad_in is None:
+            return np.zeros(x_shape, dtype=grad_out.dtype)
+        return grad_in

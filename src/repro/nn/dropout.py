@@ -1,0 +1,49 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Shape
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    Uses its own :class:`numpy.random.Generator` so training runs are
+    reproducible independently of any other randomness in the program.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.5,
+        *,
+        rng: np.random.Generator | None = None,
+        name: str = "dropout",
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.name = name
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None if not training else np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        mask = ((self._rng.random(x.shape) < keep) / keep).astype(x.dtype)
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        mask, self._mask = self._mask, None
+        return grad_out * mask

@@ -1,0 +1,103 @@
+"""im2col / col2im — the matrix-multiplication view of convolution.
+
+The paper (Fig. 8) describes how GPUs convert convolutions into matrix
+multiplications: ``im2col`` stretches local input regions into the columns of
+a data matrix ``Dm`` (shape ``N*K*K x R*C``), the filters are flattened into
+``Fm`` (shape ``M x N*K*K``), and the convolution becomes ``Fm @ Dm``.  This
+module implements exactly that transformation (and its transpose, used by the
+backward pass).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces empty output: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Batch in NCHW layout, shape ``(B, N, H, W)``.
+    kernel, stride, pad:
+        Square-kernel convolution geometry.
+
+    Returns
+    -------
+    np.ndarray
+        Shape ``(B * R * C, N * kernel * kernel)`` where ``R``/``C`` are the
+        output spatial dims.  Row ``b*R*C + r*C + c`` holds the receptive
+        field of output pixel ``(r, c)`` of sample ``b``.
+    """
+    batch, channels, height, width = images.shape
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    if pad:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+
+    cols = np.empty(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=images.dtype
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = images[
+                :, :, ky:y_max:stride, kx:x_max:stride
+            ]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Scatter columns back into an image batch (adjoint of :func:`im2col`).
+
+    Overlapping patches are *summed*, which is exactly the gradient
+    accumulation the convolution backward pass needs.
+    """
+    batch, channels, height, width = image_shape
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    cols6 = np.ascontiguousarray(cols6.transpose(0, 3, 4, 5, 1, 2))
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=cols.dtype
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols6[
+                :, :, ky, kx, :, :
+            ]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

@@ -1,0 +1,79 @@
+"""Fully-connected (FCN) layer.
+
+The paper treats FCN layers as a special case of convolution with
+``K = R = C = 1`` (Eq. 8) and shows they dominate runtime at small batch
+sizes (Fig. 12) because their weights see no reuse.  The numeric layer here
+is a plain dense matmul; the reuse/bandwidth story lives in ``repro.hw``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.base import Layer, Shape
+from repro.nn.init import he_normal
+from repro.nn.tensor import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Layer):
+    """Dense layer ``y = x @ W.T + b`` over flattened inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: np.random.Generator | None = None,
+        name: str = "fc",
+    ) -> None:
+        if min(in_features, out_features) < 1:
+            raise ValueError("linear dimensions must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        self.weight = Parameter(
+            he_normal((out_features, in_features), in_features, rng),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._cache: np.ndarray | None = None
+
+    @property
+    def parameters(self) -> Sequence[Parameter]:
+        return (self.weight, self.bias)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        flat = int(np.prod(input_shape))
+        if flat != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} inputs, got "
+                f"{flat} (shape {input_shape})"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        flat = x.reshape(x.shape[0], -1)
+        if flat.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} inputs, got "
+                f"{flat.shape[1]}"
+            )
+        if training:
+            self._cache = flat
+        return flat @ self.weight.data.T + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        flat = self._cache
+        self._cache = None
+        self.weight.accumulate(grad_out.T @ flat)
+        self.bias.accumulate(grad_out.sum(axis=0))
+        return grad_out @ self.weight.data

@@ -1,0 +1,161 @@
+"""Spatial pooling layers (max / average / global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Shape
+from repro.nn.im2col import conv_output_size
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+def _windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """View the input as ``(B, C, R, C_out, kernel, kernel)`` windows."""
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    return np.lib.stride_tricks.as_strided(
+        x, (batch, channels, out_h, out_w, kernel, kernel), strides
+    )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with a square window.
+
+    AlexNet/VGG use overlapping and non-overlapping variants; both are
+    supported via independent ``kernel``/``stride``.
+    """
+
+    def __init__(self, kernel: int, stride: int | None = None, name: str = "pool") -> None:
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.name = name
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        return (
+            channels,
+            conv_output_size(height, self.kernel, self.stride, 0),
+            conv_output_size(width, self.kernel, self.stride, 0),
+        )
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        windows = _windows(x, self.kernel, self.stride)
+        out = windows.max(axis=(4, 5))
+        if training:
+            self._cache = (x, out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x, out = self._cache
+        self._cache = None
+        k, s = self.kernel, self.stride
+        if k == s and x.shape[2] % k == 0 and x.shape[3] % k == 0:
+            return self._backward_tiled(x, out, grad_out)
+        grad_in = np.zeros_like(x)
+        out_h, out_w = out.shape[2], out.shape[3]
+        for r in range(out_h):
+            for c in range(out_w):
+                window = x[:, :, r * s : r * s + k, c * s : c * s + k]
+                mask = window == out[:, :, r : r + 1, c : c + 1]
+                # Split gradient equally among ties (matters for flat inputs).
+                counts = mask.sum(axis=(2, 3), keepdims=True).astype(
+                    grad_out.dtype
+                )
+                grad_in[:, :, r * s : r * s + k, c * s : c * s + k] += (
+                    mask * grad_out[:, :, r : r + 1, c : c + 1] / counts
+                )
+        return grad_in
+
+    def _backward_tiled(
+        self, x: np.ndarray, out: np.ndarray, grad_out: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized backward for non-overlapping pooling (the common case)."""
+        batch, channels, height, width = x.shape
+        k = self.kernel
+        tiles = x.reshape(batch, channels, height // k, k, width // k, k)
+        mask = tiles == out[:, :, :, None, :, None]
+        counts = mask.sum(axis=(3, 5), keepdims=True).astype(grad_out.dtype)
+        grad = mask * grad_out[:, :, :, None, :, None] / counts
+        return grad.reshape(batch, channels, height, width)
+
+
+class AvgPool2D(Layer):
+    def __init__(self, kernel: int, stride: int | None = None, name: str = "avgpool") -> None:
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.name = name
+        self._in_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        return (
+            channels,
+            conv_output_size(height, self.kernel, self.stride, 0),
+            conv_output_size(width, self.kernel, self.stride, 0),
+        )
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        windows = _windows(x, self.kernel, self.stride)
+        if training:
+            self._in_shape = x.shape
+        return windows.mean(axis=(4, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        shape, self._in_shape = self._in_shape, None
+        grad_in = np.zeros(shape, dtype=grad_out.dtype)
+        k, s = self.kernel, self.stride
+        share = grad_out / (k * k)
+        for r in range(grad_out.shape[2]):
+            for c in range(grad_out.shape[3]):
+                grad_in[:, :, r * s : r * s + k, c * s : c * s + k] += share[
+                    :, :, r : r + 1, c : c + 1
+                ]
+        return grad_in
+
+
+class GlobalAvgPool2D(Layer):
+    """Average each feature map down to a single value (GoogleNet-style head)."""
+
+    def __init__(self, name: str = "gap") -> None:
+        self.name = name
+        self._in_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels = input_shape[0]
+        return (channels,)
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if training:
+            self._in_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        shape, self._in_shape = self._in_shape, None
+        _, _, height, width = shape
+        grad = grad_out[:, :, None, None] / (height * width)
+        return np.broadcast_to(grad, shape).copy()

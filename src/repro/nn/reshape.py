@@ -1,0 +1,31 @@
+"""Shape-manipulating layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Shape
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Flatten everything but the batch dimension (CONV -> FCN boundary)."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        self.name = name
+        self._in_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if training:
+            self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        shape, self._in_shape = self._in_shape, None
+        return grad_out.reshape(shape)

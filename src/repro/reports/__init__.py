@@ -1,0 +1,27 @@
+"""Experiment report generation: figure sweeps, tables, CLI."""
+
+from repro.reports.figures import (
+    engine_search_rows,
+    fig11_rows,
+    fig12_rows,
+    fig14_rows,
+    fig15_rows,
+    fig16_rows,
+    fig21_rows,
+    fig22_rows,
+    fig23_rows,
+)
+from repro.reports.tables import format_table
+
+__all__ = [
+    "engine_search_rows",
+    "fig11_rows",
+    "fig12_rows",
+    "fig14_rows",
+    "fig15_rows",
+    "fig16_rows",
+    "fig21_rows",
+    "fig22_rows",
+    "fig23_rows",
+    "format_table",
+]

@@ -1,0 +1,262 @@
+"""Analytical experiment sweeps behind the paper's figures.
+
+Each ``figNN_rows`` function computes the data series of one figure from
+the hardware models and returns it as a list of dicts; the benchmark suite
+asserts on these rows and the CLI renders them as tables.  Training-based
+experiments (Table I, Figs. 5-7, Table II, Fig. 25) live in the benchmark
+files because they need shared trained-model fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.core import SingleRunningPlanner
+from repro.hw import (
+    TX1,
+    VX690T,
+    MeasuredGPU,
+    NWSArch,
+    TmTnEngine,
+    WSArch,
+    WSSArch,
+    best_design,
+    co_running_latency,
+)
+from repro.hw import fpga as fpga_model
+from repro.hw import gpu as gpu_model
+from repro.hw.pipeline import ARCH_FACTORIES
+from repro.models import alexnet_spec, diagnosis_spec, vgg16_spec
+from repro.models.layer_specs import NetworkSpec
+
+__all__ = [
+    "fig11_rows",
+    "fig12_rows",
+    "fig14_rows",
+    "fig15_rows",
+    "fig16_rows",
+    "fig21_rows",
+    "fig22_rows",
+    "fig23_rows",
+    "engine_search_rows",
+]
+
+_FIG11_BATCHES = (1, 2, 4, 8, 16, 32, 64)
+_FIG12_BATCHES = (1, 2, 4, 8, 16, 32)
+_FIG14_BATCHES = (1, 4, 16, 64)
+_FIG15_BATCHES = (1, 2, 4, 8, 16, 32)
+_FIG16_DUTIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+_FIG21_REQS = {
+    "AlexNet": (0.05, 0.1, 0.25, 0.5),
+    "VGGNet": (0.25, 0.5, 1.0, 2.0),
+}
+_FIG22_DEPTHS = (0, 3, 5)
+_FIG22_PE_BUDGET = 2628
+_FIG23_REQS_MS = (50, 100, 200, 400, 800)
+
+
+def fig11_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """Latency and perf/W vs batch on TX1 and VX690T (Fig. 11)."""
+    net = network if network is not None else alexnet_spec()
+    engine = TmTnEngine.best_for(net.conv_layers, 2048)
+    rows = []
+    for batch in _FIG11_BATCHES:
+        gpu_t = gpu_model.network_time(net, TX1, batch)
+        fpga_t = fpga_model.network_time(net, engine, VX690T, batch)
+        rows.append(
+            {
+                "batch": batch,
+                "gpu_latency_ms": gpu_t.total_s * 1e3,
+                "gpu_ppw": gpu_model.perf_per_watt(net, TX1, batch),
+                "fpga_latency_ms": fpga_t.total_s * 1e3,
+                "fpga_ppw": fpga_model.perf_per_watt(
+                    net, engine, VX690T, batch
+                ),
+            }
+        )
+    return rows
+
+
+def fig12_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """FCN share of runtime vs batch (Fig. 12)."""
+    net = network if network is not None else alexnet_spec()
+    engine = TmTnEngine.best_for(net.conv_layers, 2048)
+    rows = []
+    for batch in _FIG12_BATCHES:
+        gpu_t = gpu_model.network_time(net, TX1, batch)
+        fpga_t = fpga_model.network_time(
+            net, engine, VX690T, batch, batch_optimized=False
+        )
+        rows.append(
+            {
+                "batch": batch,
+                "gpu_fc_frac": gpu_t.fc_s / gpu_t.total_s,
+                "fpga_fc_frac": fpga_t.fc_s / fpga_t.total_s,
+            }
+        )
+    return rows
+
+
+def fig14_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """Per-layer-type perf/W, with and without the FCN batch loop
+    (Figs. 13-14)."""
+    net = network if network is not None else alexnet_spec()
+    conv_only = NetworkSpec(f"{net.name}-conv", net.conv_layers)
+    fc_only = NetworkSpec(f"{net.name}-fc", net.fc_layers)
+    engine = TmTnEngine.best_for(net.conv_layers, 2048)
+    rows = []
+    for batch in _FIG14_BATCHES:
+        rows.append(
+            {
+                "batch": batch,
+                "gpu_conv": gpu_model.perf_per_watt(conv_only, TX1, batch),
+                "gpu_fc": gpu_model.perf_per_watt(fc_only, TX1, batch),
+                "fpga_conv": fpga_model.perf_per_watt(
+                    conv_only, engine, VX690T, batch
+                ),
+                "fpga_fc_nobatch": fpga_model.perf_per_watt(
+                    fc_only, engine, VX690T, batch, batch_optimized=False
+                ),
+                "fpga_fc_batch": fpga_model.perf_per_watt(
+                    fc_only, engine, VX690T, batch, batch_optimized=True
+                ),
+                "gpu_all": gpu_model.perf_per_watt(net, TX1, batch),
+                "fpga_all": fpga_model.perf_per_watt(
+                    net, engine, VX690T, batch
+                ),
+            }
+        )
+    return rows
+
+
+def fig15_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """GPU (Eq. 3) vs FPGA (Eq. 4) utilization vs batch (Fig. 15)."""
+    net = network if network is not None else alexnet_spec()
+    engine = TmTnEngine.best_for(net.conv_layers, 2048)
+    fc6 = net.layer("fc6")
+    conv3 = net.layer("conv3")
+    return [
+        {
+            "batch": batch,
+            "gpu_fc6": gpu_model.utilization(fc6, TX1, batch),
+            "gpu_conv3": gpu_model.utilization(conv3, TX1, batch),
+            "fpga_conv3": engine.utilization(conv3),
+        }
+        for batch in _FIG15_BATCHES
+    ]
+
+
+def fig16_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """GPU co-running interference vs diagnosis duty (Fig. 16)."""
+    net = network if network is not None else alexnet_spec()
+    diag = diagnosis_spec(net)
+    return [
+        {
+            "duty": duty,
+            "result": co_running_latency(net, diag, TX1, diagnosis_duty=duty),
+        }
+        for duty in _FIG16_DUTIES
+    ]
+
+
+def fig21_rows() -> list[dict]:
+    """Model-guided vs non-batch vs brute-force batch selection (Fig. 21)."""
+    networks = {"AlexNet": alexnet_spec(), "VGGNet": vgg16_spec()}
+    sim = MeasuredGPU(TX1)
+    planner = SingleRunningPlanner(TX1)
+    rows = []
+    for name, net in networks.items():
+        for req in _FIG21_REQS[name]:
+            model_batch = planner.inference_batch(
+                net, latency_requirement_s=req
+            )
+            best_batch = sim.brute_force_best_batch(
+                net, latency_requirement_s=req, max_batch=128
+            )
+            nonbatch = sim.measure_perf_per_watt(net, 1)
+            model = sim.measure_perf_per_watt(net, model_batch)
+            best = sim.measure_perf_per_watt(net, best_batch)
+            rows.append(
+                {
+                    "net": name,
+                    "req_ms": req * 1e3,
+                    "model_batch": model_batch,
+                    "best_batch": best_batch,
+                    "speedup_vs_nonbatch": model / nonbatch,
+                    "fraction_of_best": model / best,
+                }
+            )
+    return rows
+
+
+def fig22_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """NWS / WS / WSS conv runtime at the 2628-PE budget (Fig. 22)."""
+    net = network if network is not None else alexnet_spec()
+    diag = diagnosis_spec(net)
+    archs = {
+        "NWS": NWSArch(_FIG22_PE_BUDGET, shape_for=net.conv_layers),
+        "WS": WSArch(_FIG22_PE_BUDGET, shape_for=net.conv_layers),
+        "WSS": WSSArch(_FIG22_PE_BUDGET),
+    }
+    rows = []
+    for name, arch in archs.items():
+        for depth in _FIG22_DEPTHS:
+            rt = arch.conv_runtime(net, diag, VX690T, shared_depth=depth)
+            rows.append(
+                {
+                    "arch": name,
+                    "depth": depth,
+                    "compute_ms": rt.compute_s * 1e3,
+                    "access_ms": rt.weight_access_s * 1e3,
+                    "total_ms": rt.total_s * 1e3,
+                    "idle": rt.diagnosis_idle_fraction,
+                }
+            )
+    return rows
+
+
+def fig23_rows(network: NetworkSpec | None = None) -> list[dict]:
+    """Pipeline throughput under latency requirements (Fig. 23)."""
+    net = network if network is not None else alexnet_spec()
+    diag = diagnosis_spec(net)
+    rows = []
+    for req_ms in _FIG23_REQS_MS:
+        for arch in ARCH_FACTORIES:
+            timing = best_design(
+                arch,
+                net,
+                diag,
+                VX690T,
+                latency_requirement_s=req_ms / 1e3,
+                max_batch=64,
+            )
+            rows.append(
+                {
+                    "req_ms": req_ms,
+                    "arch": arch,
+                    "ips": None if timing is None else timing.throughput_ips,
+                    "batch": None
+                    if timing is None
+                    else timing.design.batch_size,
+                }
+            )
+    return rows
+
+
+def engine_search_rows(budgets: tuple[int, ...] = (512, 1024, 2628)) -> list[dict]:
+    """Tm/Tn design-space search vs naive square engines (ablation)."""
+    rows = []
+    for spec in (alexnet_spec(), vgg16_spec()):
+        for budget in budgets:
+            tuned = TmTnEngine.best_for(spec.conv_layers, budget)
+            naive = TmTnEngine.from_budget(budget)
+            tuned_cycles = sum(tuned.conv_cycles(s) for s in spec.conv_layers)
+            naive_cycles = sum(naive.conv_cycles(s) for s in spec.conv_layers)
+            rows.append(
+                {
+                    "net": spec.name,
+                    "budget": budget,
+                    "tuned": f"{tuned.tm}x{tuned.tn}",
+                    "naive": f"{naive.tm}x{naive.tn}",
+                    "gain": naive_cycles / tuned_cycles,
+                }
+            )
+    return rows

@@ -1,0 +1,23 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a title banner."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(header[i])), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(header))
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

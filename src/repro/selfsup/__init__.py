@@ -1,0 +1,25 @@
+"""Unsupervised pre-training via spatial-context (jigsaw) prediction."""
+
+from repro.selfsup.context_net import ContextNetwork, build_context_head
+from repro.selfsup.jigsaw import JigsawSampler, reassemble_tiles, split_tiles
+from repro.selfsup.permutations import PermutationSet, max_hamming_permutations
+from repro.selfsup.pretrain import (
+    PretrainResult,
+    build_context_network,
+    permutation_accuracy,
+    pretrain,
+)
+
+__all__ = [
+    "ContextNetwork",
+    "JigsawSampler",
+    "PermutationSet",
+    "PretrainResult",
+    "build_context_head",
+    "build_context_network",
+    "max_hamming_permutations",
+    "permutation_accuracy",
+    "pretrain",
+    "reassemble_tiles",
+    "split_tiles",
+]

@@ -1,0 +1,137 @@
+"""The context-prediction (jigsaw) network with a weight-shared trunk.
+
+Architecture of Fig. 3/Fig. 4: the *same* convolutional trunk processes each
+of the 9 shuffled tiles (this is the paper's first level of weight sharing —
+"all its input patches also share the same CONV layers"), the 9 feature
+vectors are concatenated, and an FCN head predicts the permutation index.
+
+Weight sharing is implemented by folding the tile axis into the batch axis,
+so one trunk forward/backward serves all 9 tiles and the gradient from every
+tile accumulates into the shared weights automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.tensor import Parameter
+
+__all__ = ["ContextNetwork", "build_context_head"]
+
+
+def build_context_head(
+    feature_size: int,
+    num_tiles: int,
+    num_classes: int,
+    *,
+    hidden: int = 128,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """FCN head mapping concatenated tile features to permutation logits."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return Sequential(
+        [
+            Linear(feature_size * num_tiles, hidden, rng=rng, name="fc6"),
+            ReLU(name="relu6"),
+            Linear(hidden, hidden, rng=rng, name="fc7"),
+            ReLU(name="relu7"),
+            Linear(hidden, num_classes, rng=rng, name="fc8"),
+        ],
+        input_shape=(feature_size * num_tiles,),
+    )
+
+
+class ContextNetwork:
+    """Trunk-shared jigsaw network.
+
+    Parameters
+    ----------
+    trunk:
+        Per-tile network mapping ``(C, h, w)`` to a flat feature vector.
+        Its conv layers (``conv1``..``conv5``) are the weights later
+        transferred to the inference network.
+    head:
+        FCN over the concatenation of all tile features.
+    num_tiles:
+        Tiles per puzzle (9 for the 3x3 grid).
+    """
+
+    def __init__(self, trunk: Sequential, head: Sequential, num_tiles: int = 9) -> None:
+        if len(trunk.output_shape) != 1:
+            raise ValueError(
+                f"trunk must output flat features, got shape {trunk.output_shape}"
+            )
+        feature_size = trunk.output_shape[0]
+        expected = (feature_size * num_tiles,)
+        if head.input_shape != expected:
+            raise ValueError(
+                f"head expects input shape {head.input_shape}, but "
+                f"{num_tiles} tiles x {feature_size} features gives {expected}"
+            )
+        self.trunk = trunk
+        self.head = head
+        self.num_tiles = num_tiles
+        self.feature_size = feature_size
+
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> list[Parameter]:
+        return self.trunk.parameters + self.head.parameters
+
+    @property
+    def num_classes(self) -> int:
+        return self.head.output_shape[0]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    def forward(self, tiles: np.ndarray, *, training: bool = False) -> np.ndarray:
+        """Tiles ``(B, T, C, h, w)`` -> permutation logits ``(B, P)``."""
+        if tiles.ndim != 5 or tiles.shape[1] != self.num_tiles:
+            raise ValueError(
+                f"expected (B, {self.num_tiles}, C, h, w), got {tiles.shape}"
+            )
+        batch = tiles.shape[0]
+        folded = tiles.reshape((batch * self.num_tiles,) + tiles.shape[2:])
+        features = self.trunk.forward(folded, training=training)
+        concat = features.reshape(batch, self.num_tiles * self.feature_size)
+        return self.head.forward(concat, training=training)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad_concat = self.head.backward(grad_logits)
+        batch = grad_concat.shape[0]
+        grad_features = grad_concat.reshape(
+            batch * self.num_tiles, self.feature_size
+        )
+        self.trunk.backward(grad_features)
+
+    def predict(self, tiles: np.ndarray) -> np.ndarray:
+        return self.forward(tiles, training=False)
+
+    def __call__(self, tiles: np.ndarray, *, training: bool = False) -> np.ndarray:
+        return self.forward(tiles, training=training)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {f"trunk:{k}": v for k, v in self.trunk.state_dict().items()}
+        state.update(
+            {f"head:{k}": v for k, v in self.head.state_dict().items()}
+        )
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        trunk_state = {
+            k.removeprefix("trunk:"): v
+            for k, v in state.items()
+            if k.startswith("trunk:")
+        }
+        head_state = {
+            k.removeprefix("head:"): v
+            for k, v in state.items()
+            if k.startswith("head:")
+        }
+        self.trunk.load_state_dict(trunk_state)
+        self.head.load_state_dict(head_state)

@@ -1,0 +1,116 @@
+"""Unsupervised pre-training loop (the Cloud's first job in Fig. 4).
+
+Trains a :class:`ContextNetwork` on raw, unlabeled IoT images by solving
+jigsaw puzzles.  The returned trunk carries the features that transfer
+learning copies into the inference network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models import build_jigsaw_trunk, trunk_feature_size
+from repro.nn import SGD, CrossEntropyLoss
+from repro.selfsup.context_net import ContextNetwork, build_context_head
+from repro.selfsup.jigsaw import JigsawSampler
+from repro.selfsup.permutations import PermutationSet
+
+__all__ = ["PretrainResult", "build_context_network", "pretrain", "permutation_accuracy"]
+
+
+@dataclass
+class PretrainResult:
+    """History of an unsupervised pre-training run."""
+
+    network: ContextNetwork
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    sample_steps: int = 0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def build_context_network(
+    permset: PermutationSet,
+    *,
+    width: float = 1.0,
+    tile_size: int = 16,
+    hidden: int = 128,
+    rng: np.random.Generator | None = None,
+) -> ContextNetwork:
+    """Fresh jigsaw network sized for the given permutation set."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    trunk = build_jigsaw_trunk(rng, width=width, tile_size=tile_size)
+    feature = trunk_feature_size(width=width, input_size=tile_size)
+    head = build_context_head(
+        feature, permset.num_tiles, len(permset), hidden=hidden, rng=rng
+    )
+    return ContextNetwork(trunk, head, num_tiles=permset.num_tiles)
+
+
+def permutation_accuracy(
+    network: ContextNetwork,
+    images: np.ndarray,
+    sampler: JigsawSampler,
+    *,
+    batch_size: int = 64,
+) -> float:
+    """Fraction of puzzles whose permutation the network identifies."""
+    if len(images) == 0:
+        raise ValueError("cannot evaluate on zero images")
+    correct = 0
+    for start in range(0, len(images), batch_size):
+        chunk = images[start : start + batch_size]
+        tiles, labels = sampler.batch(chunk)
+        logits = network.predict(tiles)
+        correct += int((logits.argmax(axis=1) == labels).sum())
+    return correct / len(images)
+
+
+def pretrain(
+    network: ContextNetwork,
+    images: np.ndarray,
+    sampler: JigsawSampler,
+    *,
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 0.02,
+    momentum: float = 0.9,
+    rng: np.random.Generator | None = None,
+    eval_images: np.ndarray | None = None,
+) -> PretrainResult:
+    """Train the context network on unlabeled images.
+
+    ``images`` is a raw (B, C, H, W) array — labels are never consulted,
+    which is the whole point: the supervisory signal is spatial context.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(network.parameters, lr=lr, momentum=momentum)
+    result = PretrainResult(network=network)
+    for _ in range(epochs):
+        order = rng.permutation(len(images))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(images), batch_size):
+            idx = order[start : start + batch_size]
+            tiles, labels = sampler.batch(images[idx])
+            logits = network.forward(tiles, training=True)
+            epoch_loss += loss_fn(logits, labels)
+            batches += 1
+            network.zero_grad()
+            network.backward(loss_fn.backward())
+            optimizer.step()
+            result.sample_steps += len(idx)
+        result.losses.append(epoch_loss / max(1, batches))
+        held_out = eval_images if eval_images is not None else images
+        result.accuracies.append(
+            permutation_accuracy(network, held_out, sampler)
+        )
+    return result

@@ -1,0 +1,31 @@
+"""Transfer learning and incremental model updates."""
+
+from repro.transfer.finetune import (
+    TrainResult,
+    evaluate,
+    split_at_frozen_prefix,
+    train_classifier,
+)
+from repro.transfer.incremental import (
+    ReplayBuffer,
+    UpdateOutcome,
+    incremental_update,
+)
+from repro.transfer.surgery import (
+    FreezePlan,
+    reinitialize_above,
+    transfer_conv_weights,
+)
+
+__all__ = [
+    "FreezePlan",
+    "ReplayBuffer",
+    "TrainResult",
+    "UpdateOutcome",
+    "evaluate",
+    "incremental_update",
+    "reinitialize_above",
+    "split_at_frozen_prefix",
+    "train_classifier",
+    "transfer_conv_weights",
+]

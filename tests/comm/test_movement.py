@@ -1,0 +1,53 @@
+"""Data-movement ledger tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import DataMovementLedger
+
+
+@pytest.fixture
+def ledger():
+    return DataMovementLedger(image_bytes=1000)
+
+
+class TestLedger:
+    def test_record_and_totals(self, ledger):
+        ledger.record(0, acquired=100, uploaded=100)
+        ledger.record(1, acquired=100, uploaded=72)
+        assert ledger.total_acquired_images == 200
+        assert ledger.total_uploaded_images == 172
+        assert ledger.total_uploaded_bytes == 172_000
+
+    def test_normalized_per_stage_matches_table2_shape(self, ledger):
+        """The paper's Table II row c/d: 1, 0.72, 0.51, 0.35, 0.29."""
+        acquired = [100, 100, 200, 400, 400]
+        uploaded = [100, 72, 102, 140, 116]
+        for i, (a, u) in enumerate(zip(acquired, uploaded)):
+            ledger.record(i, a, u)
+        norm = ledger.normalized_per_stage()
+        assert norm[0] == 1.0
+        assert norm == pytest.approx([1.0, 0.72, 0.51, 0.35, 0.29])
+
+    def test_overall_reduction(self, ledger):
+        ledger.record(0, 100, 100)
+        ledger.record(1, 100, 50)
+        assert ledger.overall_reduction_vs_full() == pytest.approx(0.25)
+
+    def test_reduction_empty_is_zero(self, ledger):
+        assert ledger.overall_reduction_vs_full() == 0.0
+
+    def test_uploaded_exceeding_acquired_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.record(0, acquired=10, uploaded=11)
+
+    def test_negative_counts_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.record(0, acquired=-1, uploaded=0)
+
+    def test_stage_movement_fields(self, ledger):
+        movement = ledger.record(2, acquired=50, uploaded=25)
+        assert movement.upload_fraction == 0.5
+        assert movement.uploaded_bytes == 25_000
+        assert movement.stage_index == 2

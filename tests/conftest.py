@@ -1,0 +1,92 @@
+"""Shared fixtures and numeric helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DriftModel, ImageGenerator, make_dataset
+from repro.nn.config import set_default_dtype
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def float64_mode():
+    """Run a test under float64 for tight gradient-check tolerances."""
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(np.float32)
+
+
+@pytest.fixture
+def generator(rng) -> ImageGenerator:
+    return ImageGenerator(image_size=48, num_classes=4, rng=rng)
+
+
+@pytest.fixture
+def small_ideal_dataset(generator, rng):
+    return make_dataset(48, generator=generator, rng=rng)
+
+
+@pytest.fixture
+def small_drifted_dataset(generator, rng):
+    drift = DriftModel(0.5, rng=rng)
+    return make_dataset(48, generator=generator, drift=drift, rng=rng)
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = fn()
+        flat_x[i] = original - eps
+        minus = fn()
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    """Check a layer's backward pass against numeric differentiation.
+
+    Usage: ``gradcheck(layer, x)`` — verifies input gradient and every
+    parameter gradient under a random linear functional of the output.
+    """
+
+    def check(layer, x: np.ndarray, tol: float = 1e-6) -> None:
+        x = x.astype(np.float64)
+        probe_rng = np.random.default_rng(99)
+        out = layer.forward(x, training=True)
+        probe = probe_rng.normal(size=out.shape)
+
+        def loss() -> float:
+            return float((layer.forward(x, training=True) * probe).sum())
+
+        # Analytic gradients.
+        layer.forward(x, training=True)
+        for p in layer.parameters:
+            p.zero_grad()
+        grad_in = layer.backward(probe)
+
+        num_in = numeric_gradient(loss, x)
+        assert np.allclose(grad_in, num_in, atol=tol, rtol=1e-4), (
+            f"input gradient mismatch: max err "
+            f"{np.abs(grad_in - num_in).max()}"
+        )
+        for p in layer.parameters:
+            num_p = numeric_gradient(loss, p.data)
+            assert np.allclose(p.grad, num_p, atol=tol, rtol=1e-4), (
+                f"{p.name} gradient mismatch: max err "
+                f"{np.abs(p.grad - num_p).max()}"
+            )
+
+    return check

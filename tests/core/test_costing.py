@@ -1,0 +1,87 @@
+"""Node cost models for the two working modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CoRunningPlanner, FPGACoRunningCost, GPUSingleRunningCost
+from repro.hw import TX1, VX690T
+from repro.models import alexnet_spec, diagnosis_spec
+
+
+@pytest.fixture
+def specs():
+    inf = alexnet_spec()
+    return inf, diagnosis_spec(inf)
+
+
+class TestGPUSingleRunningCost:
+    @pytest.fixture
+    def costing(self, specs):
+        inf, diag = specs
+        return GPUSingleRunningCost(inf, diag, TX1)
+
+    def test_costs_scale_with_images(self, costing):
+        small = costing.inference_cost(10)
+        large = costing.inference_cost(100)
+        assert large.seconds > small.seconds
+        assert large.joules > small.joules
+
+    def test_zero_images_free(self, costing):
+        assert costing.inference_cost(0).seconds == 0.0
+        assert costing.diagnosis_cost(0).joules == 0.0
+
+    def test_diagnosis_costs_more_per_image_than_inference(self, costing):
+        """9 patches per image: diagnosis work dominates, but big batching
+        amortizes its FCN — per-image seconds should still be higher."""
+        inf = costing.inference_cost(100)
+        diag = costing.diagnosis_cost(100)
+        assert diag.seconds > inf.seconds
+
+    def test_negative_rejected(self, costing):
+        with pytest.raises(ValueError):
+            costing.inference_cost(-1)
+        with pytest.raises(ValueError):
+            costing.diagnosis_cost(-1)
+
+
+class TestFPGACoRunningCost:
+    @pytest.fixture
+    def costing(self, specs):
+        inf, diag = specs
+        timing = CoRunningPlanner(VX690T).plan(
+            inf, diag, latency_requirement_s=0.2
+        )
+        return FPGACoRunningCost(timing, VX690T)
+
+    def test_inference_cost_from_throughput(self, costing):
+        cost = costing.inference_cost(100)
+        expected = 100 / costing.timing.throughput_ips
+        assert cost.seconds == pytest.approx(expected)
+        assert cost.joules == pytest.approx(expected * VX690T.power_w)
+
+    def test_diagnosis_is_free_marginal(self, costing):
+        assert costing.diagnosis_cost(1000).seconds == 0.0
+
+    def test_node_accepts_fpga_costing(self, specs, rng):
+        from repro.core import InSituNode
+        from repro.data import ImageGenerator, IoTStream
+        from repro.models import build_classifier
+
+        inf, diag = specs
+        timing = CoRunningPlanner(VX690T).plan(
+            inf, diag, latency_requirement_s=0.2
+        )
+        node = InSituNode(
+            build_classifier(4, rng),
+            None,
+            inference_spec=inf,
+            diagnosis_spec=diag,
+            gpu=TX1,
+            costing=FPGACoRunningCost(timing, VX690T),
+        )
+        generator = ImageGenerator(48, 4, rng=rng)
+        stage = IoTStream(generator, scale=0.1, rng=rng).stages()[0]
+        report = node.process_stage(stage)
+        assert report.inference_time_s > 0
+        assert report.diagnosis_time_s == 0.0

@@ -1,0 +1,129 @@
+"""InSituNode and InSituCloud unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InSituCloud, InSituNode
+from repro.data import ImageGenerator, IoTStream, make_dataset
+from repro.diagnosis import OracleDiagnoser
+from repro.hw import TX1
+from repro.models import alexnet_spec, build_classifier, diagnosis_spec
+from repro.selfsup import PermutationSet
+
+
+@pytest.fixture
+def permset(rng):
+    return PermutationSet.generate(4, rng=rng)
+
+
+@pytest.fixture
+def cloud(permset, rng):
+    return InSituCloud(
+        4,
+        permset,
+        cost_spec=alexnet_spec(),
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.fixture
+def stage(generator, rng):
+    stream = IoTStream(generator, scale=0.2, rng=rng)
+    return stream.stages()[0]
+
+
+class TestInSituNode:
+    def make_node(self, rng, diagnoser=None, net=None):
+        inf_spec = alexnet_spec()
+        net = net if net is not None else build_classifier(4, rng)
+        return InSituNode(
+            net,
+            diagnoser,
+            inference_spec=inf_spec,
+            diagnosis_spec=diagnosis_spec(inf_spec),
+            gpu=TX1,
+        )
+
+    def test_no_diagnoser_uploads_everything(self, rng, stage):
+        node = self.make_node(rng)
+        report = node.process_stage(stage)
+        assert report.flagged_images == report.acquired_images
+        assert len(report.upload_data) == stage.new_count
+
+    def test_oracle_diagnoser_uploads_errors_only(self, rng, stage):
+        net = build_classifier(4, rng)
+        node = self.make_node(rng, OracleDiagnoser(net), net=net)
+        report = node.process_stage(stage)
+        preds = net.predict(stage.new_data.images).argmax(axis=1)
+        wrong = int((preds != stage.new_data.labels).sum())
+        assert report.flagged_images == wrong
+        assert len(report.upload_data) == wrong
+
+    def test_costs_modeled(self, rng, stage):
+        net = build_classifier(4, rng)
+        node = self.make_node(rng, OracleDiagnoser(net), net=net)
+        report = node.process_stage(stage)
+        assert report.inference_time_s > 0
+        assert report.diagnosis_time_s > 0
+        assert report.node_energy_j > 0
+
+    def test_deploy_refreshes_model(self, rng, stage):
+        net_a = build_classifier(4, np.random.default_rng(1))
+        net_b = build_classifier(4, np.random.default_rng(2))
+        node = self.make_node(rng, net=net_a)
+        node.deploy(net_b.state_dict())
+        x = stage.new_data.images[:2]
+        assert np.allclose(node.inference_net.predict(x), net_b.predict(x))
+
+
+class TestInSituCloud:
+    def test_pretrain_returns_accuracy(self, cloud, generator, rng):
+        raw = make_dataset(32, generator=generator, rng=rng).as_unlabeled()
+        acc = cloud.unsupervised_pretrain(raw, epochs=1)
+        assert 0.0 <= acc <= 1.0
+
+    def test_initialize_trains_model(self, cloud, generator, rng):
+        labeled = make_dataset(48, generator=generator, rng=rng)
+        result = cloud.initialize_inference(labeled, epochs=2)
+        assert result.sample_steps == 2 * 48
+
+    def test_incremental_update_reports_costs(self, cloud, generator, rng):
+        labeled = make_dataset(32, generator=generator, rng=rng)
+        cloud.initialize_inference(labeled, epochs=1)
+        new = make_dataset(16, generator=generator, rng=rng)
+        report = cloud.incremental_update(new, weight_shared=True, epochs=1)
+        assert report.images_used == 16
+        assert report.modeled_time_s > 0
+        assert report.modeled_energy_j > 0
+
+    def test_weight_shared_update_cheaper(self, cloud):
+        full_s, _ = cloud.modeled_update_cost(1000, 3, freeze_depth=0)
+        shared_s, _ = cloud.modeled_update_cost(1000, 3, freeze_depth=3)
+        assert shared_s < full_s
+
+    def test_weight_shared_update_freezes_convs(self, cloud, generator, rng):
+        labeled = make_dataset(32, generator=generator, rng=rng)
+        cloud.initialize_inference(labeled, epochs=1)
+        before = cloud.inference_net["conv1"].weight.data.copy()
+        new = make_dataset(16, generator=generator, rng=rng)
+        cloud.incremental_update(new, weight_shared=True, epochs=1)
+        assert np.array_equal(cloud.inference_net["conv1"].weight.data, before)
+
+    def test_replay_grows_archive(self, cloud, generator, rng):
+        first = make_dataset(16, generator=generator, rng=rng)
+        second = make_dataset(8, generator=generator, rng=rng)
+        cloud.incremental_update(first, weight_shared=False, epochs=1)
+        cloud.incremental_update(second, weight_shared=False, epochs=1)
+        assert len(cloud.archive) == 24
+
+    def test_empty_update_rejected(self, cloud, generator, rng):
+        data = make_dataset(4, generator=generator, rng=rng)
+        with pytest.raises(ValueError):
+            cloud.incremental_update(data.take(0), weight_shared=True)
+
+    def test_model_state_roundtrip(self, cloud, rng):
+        state = cloud.model_state()
+        other = build_classifier(4, np.random.default_rng(9))
+        other.load_state_dict(state)

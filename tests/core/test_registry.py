@@ -1,0 +1,145 @@
+"""Model registry and update guard tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InSituCloud,
+    ModelRegistry,
+    UpdateGuard,
+)
+from repro.data import make_dataset
+from repro.models import alexnet_spec, build_classifier
+from repro.selfsup import PermutationSet
+
+
+@pytest.fixture
+def nets(rng):
+    return (
+        build_classifier(4, np.random.default_rng(1)),
+        build_classifier(4, np.random.default_rng(2)),
+    )
+
+
+class TestModelRegistry:
+    def test_publish_and_active(self, nets):
+        a, b = nets
+        registry = ModelRegistry()
+        v1 = registry.publish(a.state_dict(), {"tag": "init"})
+        assert v1.version == 1
+        assert registry.active.version == 1
+        v2 = registry.publish(b.state_dict())
+        assert registry.active.version == v2.version == 2
+        assert registry.history() == [1, 2]
+
+    def test_published_state_is_copied(self, nets):
+        a, _ = nets
+        registry = ModelRegistry()
+        registry.publish(a.state_dict())
+        a["fc8"].weight.data[...] = 0.0
+        stored = registry.active.state["fc8.weight"]
+        assert not np.all(stored == 0.0)
+
+    def test_rollback(self, nets):
+        a, b = nets
+        registry = ModelRegistry()
+        registry.publish(a.state_dict())
+        registry.publish(b.state_dict())
+        assert registry.rollback().version == 1
+        assert registry.active.version == 1
+
+    def test_rollback_empty_raises(self):
+        with pytest.raises(LookupError):
+            ModelRegistry().rollback()
+        registry = ModelRegistry()
+        registry.publish({})
+        with pytest.raises(LookupError):
+            registry.rollback()
+
+    def test_activate_specific_version(self, nets):
+        a, b = nets
+        registry = ModelRegistry()
+        registry.publish(a.state_dict())
+        registry.publish(b.state_dict())
+        registry.activate(1)
+        assert registry.active.version == 1
+        with pytest.raises(KeyError):
+            registry.activate(9)
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get(1)
+
+    def test_active_empty_raises(self):
+        with pytest.raises(LookupError):
+            ModelRegistry().active
+
+
+class TestUpdateGuard:
+    def test_accepts_improvement(self, rng, generator):
+        data = make_dataset(60, generator=generator, rng=rng)
+        net = build_classifier(4, np.random.default_rng(3))
+        previous = net.state_dict()
+        # Train briefly: accuracy should not regress below tolerance.
+        from repro.transfer import train_classifier
+
+        train_classifier(net, data, epochs=3, lr=0.01, rng=rng)
+        guard = UpdateGuard(data, max_regression=0.05)
+        decision = guard.check(net, previous)
+        assert decision.accepted
+        assert decision.accuracy_after >= decision.accuracy_before - 0.05
+
+    def test_rejects_and_rolls_back_sabotage(self, rng, generator):
+        data = make_dataset(60, generator=generator, rng=rng)
+        net = build_classifier(4, np.random.default_rng(3))
+        from repro.transfer import train_classifier
+
+        train_classifier(net, data, epochs=4, lr=0.01, rng=rng)
+        good_state = net.state_dict()
+        # Sabotage: zero the head — accuracy collapses to chance.
+        net["fc8"].weight.data[...] = 0.0
+        guard = UpdateGuard(data, max_regression=0.02)
+        decision = guard.check(net, good_state)
+        assert not decision.accepted
+        # Weights restored to the pre-update state.
+        assert np.allclose(
+            net["fc8"].weight.data, good_state["fc8.weight"]
+        )
+        assert guard.rejection_count == 1
+
+    def test_empty_validation_rejected(self, rng, generator):
+        data = make_dataset(4, generator=generator, rng=rng)
+        with pytest.raises(ValueError):
+            UpdateGuard(data.take(0))
+
+    def test_negative_tolerance_rejected(self, rng, generator):
+        data = make_dataset(4, generator=generator, rng=rng)
+        with pytest.raises(ValueError):
+            UpdateGuard(data, max_regression=-0.1)
+
+
+class TestGuardedCloudUpdate:
+    def test_guarded_update_publishes_on_accept(self, rng, generator):
+        permset = PermutationSet.generate(4, rng=rng)
+        cloud = InSituCloud(
+            4, permset, cost_spec=alexnet_spec(),
+            rng=np.random.default_rng(5),
+        )
+        labeled = make_dataset(80, generator=generator, rng=rng)
+        cloud.initialize_inference(labeled, epochs=4)
+        guard = UpdateGuard(
+            make_dataset(60, generator=generator, rng=rng),
+            max_regression=0.2,
+        )
+        registry = ModelRegistry()
+        new = make_dataset(40, generator=generator, rng=rng)
+        report, decision = cloud.guarded_update(
+            new, guard, weight_shared=True, registry=registry, epochs=2
+        )
+        assert report.images_used == 40
+        if decision.accepted:
+            assert len(registry) == 1
+        else:
+            assert len(registry) == 0

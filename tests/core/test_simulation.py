@@ -1,0 +1,112 @@
+"""End-to-end simulation: policy effects at a small, fast scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, prepare_assets, run_all_systems, run_system
+from repro.core.systems import system_by_id
+
+
+@pytest.fixture(scope="module")
+def fast_scenario():
+    """Small but complete scenario: ~30 s for all four systems."""
+    return Scenario(
+        num_classes=4,
+        stream_scale=0.2,
+        pretrain_images=60,
+        pretrain_epochs=1,
+        init_epochs=2,
+        update_epochs=1,
+        eval_images=60,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(fast_scenario):
+    return run_all_systems(fast_scenario)
+
+
+class TestScenario:
+    def test_invalid_diagnoser_kind(self):
+        with pytest.raises(ValueError):
+            Scenario(diagnoser_kind="psychic")
+
+    def test_prepare_assets_shapes(self, fast_scenario):
+        assets = prepare_assets(fast_scenario)
+        assert len(assets.stages) == 5
+        assert len(assets.pretrain_data) <= fast_scenario.pretrain_images
+        assert not assets.pretrain_data.labeled
+
+
+class TestPolicies(object):
+    def test_all_four_systems_ran(self, results):
+        assert set(results) == {"a", "b", "c", "d"}
+        for r in results.values():
+            assert len(r.stages) == 5
+
+    def test_a_and_b_upload_everything(self, results):
+        for sid in ("a", "b"):
+            assert all(
+                m == 1.0 for m in results[sid].normalized_movement
+            )
+
+    def test_c_and_d_upload_less(self, results):
+        for sid in ("c", "d"):
+            movement = results[sid].normalized_movement
+            assert movement[0] == 1.0  # initial stage ships everything
+            assert sum(movement[1:]) < 4.0  # later stages upload a subset
+
+    def test_initial_stage_identical_across_systems(self, results):
+        accs = {sid: r.stages[0].accuracy_after for sid, r in results.items()}
+        assert len(set(accs.values())) == 1
+
+    def test_d_updates_faster_than_a(self, results):
+        """In-situ AI's headline: reduced model update time."""
+        a = results["a"]
+        d = results["d"]
+        for sa, sd in zip(a.stages[1:], d.stages[1:]):
+            if sd.trained_on:
+                assert sd.modeled_update_time_s < sa.modeled_update_time_s
+
+    def test_d_saves_energy(self, results):
+        assert (
+            results["d"].total_energy_j < results["a"].total_energy_j
+        )
+
+    def test_b_pays_cloud_scan_over_c(self, results):
+        """System b's cloud-side diagnosis costs extra cloud compute."""
+        assert (
+            results["b"].total_cloud_energy_j
+            > results["c"].total_cloud_energy_j
+        )
+
+    def test_transfer_energy_tracks_movement(self, results):
+        assert (
+            results["c"].total_transfer_energy_j
+            < results["a"].total_transfer_energy_j
+        )
+
+
+class TestRunSystemOptions:
+    def test_confidence_diagnoser_variant(self, fast_scenario):
+        scenario = Scenario(
+            **{
+                **fast_scenario.__dict__,
+                "diagnoser_kind": "confidence",
+                "stream_scale": 0.15,
+            }
+        )
+        assets = prepare_assets(scenario)
+        result = run_system(system_by_id("d"), assets)
+        assert len(result.stages) == 5
+
+    def test_stage_records_consistent(self, results):
+        for r in results.values():
+            for stage in r.stages:
+                assert stage.uploaded <= stage.acquired
+                assert 0.0 <= stage.accuracy_before <= 1.0
+                assert 0.0 <= stage.accuracy_after <= 1.0
+                assert stage.modeled_update_time_s >= 0.0

@@ -1,0 +1,41 @@
+"""Network-link choice affects transfer energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import LTE, WIFI
+from repro.core import Scenario, prepare_assets, run_system, system_by_id
+
+
+@pytest.fixture(scope="module")
+def assets():
+    scenario = Scenario(
+        num_classes=4,
+        stream_scale=0.15,
+        pretrain_images=40,
+        pretrain_epochs=1,
+        init_epochs=2,
+        update_epochs=1,
+        eval_images=40,
+        seed=9,
+    )
+    return prepare_assets(scenario)
+
+
+class TestLinkChoice:
+    def test_lte_costs_more_transfer_energy(self, assets):
+        wifi_run = run_system(system_by_id("c"), assets, link=WIFI)
+        lte_run = run_system(system_by_id("c"), assets, link=LTE)
+        assert (
+            lte_run.total_transfer_energy_j
+            > wifi_run.total_transfer_energy_j
+        )
+
+    def test_link_does_not_change_movement(self, assets):
+        wifi_run = run_system(system_by_id("c"), assets, link=WIFI)
+        lte_run = run_system(system_by_id("c"), assets, link=LTE)
+        assert (
+            wifi_run.ledger.total_uploaded_images
+            == lte_run.ledger.total_uploaded_images
+        )

@@ -1,0 +1,105 @@
+"""In-situ drift transform tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DriftModel,
+    close_up,
+    low_illumination,
+    motion_blur,
+    occlude,
+    random_pose,
+    sensor_noise,
+)
+
+
+@pytest.fixture
+def image(generator):
+    return generator.generate(0)
+
+
+class TestTransforms:
+    def test_illumination_darkens(self, image):
+        dark = low_illumination(image, 0.3)
+        assert dark.mean() < image.mean()
+        assert dark.min() >= 0.0
+
+    def test_illumination_bounds(self, image):
+        with pytest.raises(ValueError):
+            low_illumination(image, 0.0)
+        with pytest.raises(ValueError):
+            low_illumination(image, 1.5)
+
+    def test_occlusion_covers_area(self, image, rng):
+        out = occlude(image, 0.25, rng)
+        changed = np.any(out != image, axis=0).mean()
+        assert 0.15 < changed < 0.4
+
+    def test_occlusion_zero_identity(self, image, rng):
+        assert np.array_equal(occlude(image, 0.0, rng), image)
+
+    def test_pose_preserves_range(self, image):
+        out = random_pose(image, 45.0)
+        assert out.shape == image.shape
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_pose_zero_near_identity(self, image):
+        assert np.allclose(random_pose(image, 0.0), image, atol=1e-6)
+
+    def test_close_up_zooms(self, image):
+        out = close_up(image, 2.0)
+        assert out.shape == image.shape
+        # Center crop enlarged: corners of the original disappear.
+        assert not np.allclose(out, image)
+
+    def test_close_up_identity(self, image):
+        assert np.array_equal(close_up(image, 1.0), image)
+
+    def test_noise_changes_pixels(self, image, rng):
+        out = sensor_noise(image, 0.1, rng)
+        assert not np.array_equal(out, image)
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_blur_smooths(self, image):
+        out = motion_blur(image, 3.0)
+        # Blur reduces horizontal gradient energy.
+        grad_orig = np.abs(np.diff(image, axis=2)).mean()
+        grad_blur = np.abs(np.diff(out, axis=2)).mean()
+        assert grad_blur < grad_orig
+
+    def test_non_chw_rejected(self, rng):
+        with pytest.raises(ValueError):
+            low_illumination(rng.random((48, 48)), 0.5)
+
+
+class TestDriftModel:
+    def test_zero_severity_is_identity(self, image):
+        model = DriftModel(0.0)
+        assert np.array_equal(model.apply(image), image)
+
+    def test_severity_bounds(self):
+        with pytest.raises(ValueError):
+            DriftModel(1.5)
+        with pytest.raises(ValueError):
+            DriftModel(-0.1)
+
+    def test_higher_severity_larger_shift(self, generator, rng):
+        """Average pixel distortion grows with severity."""
+        images = generator.batch(np.zeros(20, dtype=int))
+        mild = DriftModel(0.2, rng=np.random.default_rng(1)).apply_batch(images)
+        harsh = DriftModel(0.9, rng=np.random.default_rng(1)).apply_batch(images)
+        mild_shift = np.abs(mild - images).mean()
+        harsh_shift = np.abs(harsh - images).mean()
+        assert harsh_shift > mild_shift
+
+    def test_batch_shape(self, generator, rng):
+        images = generator.batch(np.zeros(4, dtype=int))
+        out = DriftModel(0.5, rng=rng).apply_batch(images)
+        assert out.shape == images.shape
+
+    def test_batch_requires_4d(self, image, rng):
+        with pytest.raises(ValueError):
+            DriftModel(0.5, rng=rng).apply_batch(image)

@@ -1,0 +1,61 @@
+"""Procedural image generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import NUM_SHAPE_CLASSES, ImageGenerator
+
+
+class TestGenerator:
+    def test_output_range_and_shape(self, generator):
+        img = generator.generate(0)
+        assert img.shape == (3, 48, 48)
+        assert img.min() >= 0.0
+        assert img.max() <= 1.0
+
+    def test_all_classes_render(self, rng):
+        gen = ImageGenerator(48, NUM_SHAPE_CLASSES, rng=rng)
+        for class_id in range(NUM_SHAPE_CLASSES):
+            img = gen.generate(class_id)
+            assert np.isfinite(img).all()
+
+    def test_classes_are_distinguishable(self, rng):
+        """Mean images of different classes should differ substantially."""
+        gen = ImageGenerator(48, 4, rng=rng)
+        means = []
+        for class_id in range(4):
+            imgs = gen.batch(np.full(10, class_id))
+            means.append(imgs.mean(axis=0))
+        for i in range(4):
+            for j in range(i + 1, 4):
+                diff = np.abs(means[i] - means[j]).mean()
+                assert diff > 0.01, f"classes {i} and {j} look identical"
+
+    def test_intra_class_variation(self, rng):
+        gen = ImageGenerator(48, 4, rng=rng)
+        a = gen.generate(0)
+        b = gen.generate(0)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_with_seed(self):
+        a = ImageGenerator(48, 4, rng=np.random.default_rng(5)).generate(2)
+        b = ImageGenerator(48, 4, rng=np.random.default_rng(5)).generate(2)
+        assert np.array_equal(a, b)
+
+    def test_batch_shape(self, generator):
+        labels = np.array([0, 1, 2, 3])
+        assert generator.batch(labels).shape == (4, 3, 48, 48)
+
+    def test_invalid_class(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(99)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ImageGenerator(8)
+        with pytest.raises(ValueError):
+            ImageGenerator(48, 1)
+        with pytest.raises(ValueError):
+            ImageGenerator(48, 99)

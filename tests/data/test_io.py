@@ -1,0 +1,42 @@
+"""Dataset persistence round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, load_dataset, make_dataset, save_dataset
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, generator, rng, tmp_path):
+        data = make_dataset(12, generator=generator, rng=rng)
+        path = str(tmp_path / "data.npz")
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.images, data.images)
+        assert np.array_equal(loaded.labels, data.labels)
+        assert loaded.labeled == data.labeled
+        assert loaded.meta == data.meta
+
+    def test_unlabeled_flag_persists(self, generator, rng, tmp_path):
+        data = make_dataset(4, generator=generator, rng=rng).as_unlabeled()
+        path = str(tmp_path / "raw.npz")
+        save_dataset(data, path)
+        assert load_dataset(path).labeled is False
+
+    def test_meta_persists(self, rng, tmp_path):
+        data = Dataset(
+            rng.random((3, 3, 4, 4)),
+            np.zeros(3, dtype=int),
+            meta={"drift_severity": 0.5, "site": "serengeti-7"},
+        )
+        path = str(tmp_path / "meta.npz")
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        assert loaded.meta["site"] == "serengeti-7"
+        assert loaded.meta["drift_severity"] == 0.5
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(str(tmp_path / "nope.npz"))

@@ -1,0 +1,135 @@
+"""Diagnosers: contracts, oracle behaviour, jigsaw signal quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DriftModel, make_dataset
+from repro.diagnosis import (
+    InferenceConfidenceDiagnoser,
+    JigsawDiagnoser,
+    OracleDiagnoser,
+    RandomDiagnoser,
+)
+from repro.models import build_classifier
+from repro.selfsup import JigsawSampler, PermutationSet, build_context_network
+from repro.transfer import train_classifier
+
+
+@pytest.fixture
+def trained_net(rng, generator):
+    net = build_classifier(4, np.random.default_rng(2))
+    train = make_dataset(96, generator=generator, rng=rng)
+    # lr 0.01: this small setup is unstable at higher learning rates.
+    train_classifier(net, train, epochs=8, batch_size=16, lr=0.01, rng=rng)
+    return net
+
+
+class TestOracleDiagnoser:
+    def test_flags_are_misclassifications(self, trained_net, generator, rng):
+        data = make_dataset(40, generator=generator, rng=rng)
+        flags = OracleDiagnoser(trained_net).flags(data)
+        preds = trained_net.predict(data.images).argmax(axis=1)
+        assert np.array_equal(flags, preds != data.labels)
+
+    def test_drift_increases_flags(self, trained_net, generator, rng):
+        ideal = make_dataset(60, generator=generator, rng=rng)
+        drifted = make_dataset(
+            60, generator=generator, drift=DriftModel(0.8, rng=rng), rng=rng
+        )
+        oracle = OracleDiagnoser(trained_net)
+        assert oracle.upload_fraction(drifted) > oracle.upload_fraction(ideal)
+
+
+class TestConfidenceDiagnoser:
+    def test_score_in_unit_interval(self, trained_net, generator, rng):
+        data = make_dataset(20, generator=generator, rng=rng)
+        scores = InferenceConfidenceDiagnoser(trained_net).score(data)
+        assert np.all((scores > 0.0) & (scores <= 1.0))
+
+    def test_threshold_monotone(self, trained_net, generator, rng):
+        data = make_dataset(40, generator=generator, rng=rng)
+        low = InferenceConfidenceDiagnoser(trained_net, threshold=0.3)
+        high = InferenceConfidenceDiagnoser(trained_net, threshold=0.95)
+        assert low.flags(data).sum() <= high.flags(data).sum()
+
+    def test_invalid_threshold(self, trained_net):
+        with pytest.raises(ValueError):
+            InferenceConfidenceDiagnoser(trained_net, threshold=0.0)
+
+    def test_correlates_with_errors(self, trained_net, generator, rng):
+        """Low-confidence samples should be wrong more often than
+        high-confidence ones."""
+        data = make_dataset(
+            120, generator=generator, drift=DriftModel(0.5, rng=rng), rng=rng
+        )
+        diag = InferenceConfidenceDiagnoser(trained_net)
+        scores = diag.score(data)
+        preds = trained_net.predict(data.images).argmax(axis=1)
+        wrong = preds != data.labels
+        if wrong.any() and (~wrong).any():
+            assert scores[wrong].mean() < scores[~wrong].mean()
+
+
+class TestJigsawDiagnoser:
+    @pytest.fixture
+    def jigsaw_setup(self, rng, generator):
+        permset = PermutationSet.generate(4, rng=rng)
+        sampler = JigsawSampler(permset, rng=rng)
+        network = build_context_network(permset, rng=np.random.default_rng(5))
+        return network, sampler
+
+    def test_flags_shape_and_type(self, jigsaw_setup, generator, rng):
+        network, sampler = jigsaw_setup
+        diag = JigsawDiagnoser(network, sampler, trials=1, rng=rng)
+        data = make_dataset(12, generator=generator, rng=rng)
+        flags = diag.flags(data)
+        assert flags.shape == (12,)
+        assert flags.dtype == bool
+
+    def test_untrained_network_flags_nearly_everything(
+        self, jigsaw_setup, generator, rng
+    ):
+        network, sampler = jigsaw_setup
+        diag = JigsawDiagnoser(network, sampler, trials=2, rng=rng)
+        data = make_dataset(24, generator=generator, rng=rng)
+        # Untrained jigsaw solves ~1/4 puzzles by chance; requiring 2/2
+        # keeps ~1/16 recognized.
+        assert diag.upload_fraction(data) > 0.6
+
+    def test_score_range(self, jigsaw_setup, generator, rng):
+        network, sampler = jigsaw_setup
+        diag = JigsawDiagnoser(network, sampler, trials=2, rng=rng)
+        data = make_dataset(10, generator=generator, rng=rng)
+        scores = diag.score(data)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_invalid_trials(self, jigsaw_setup, rng):
+        network, sampler = jigsaw_setup
+        with pytest.raises(ValueError):
+            JigsawDiagnoser(network, sampler, trials=0, rng=rng)
+        with pytest.raises(ValueError):
+            JigsawDiagnoser(network, sampler, trials=2, min_correct=3, rng=rng)
+
+
+class TestRandomDiagnoser:
+    def test_fraction_respected(self, rng, generator):
+        data = make_dataset(400, generator=generator, rng=rng)
+        diag = RandomDiagnoser(0.3, rng=rng)
+        frac = diag.upload_fraction(data)
+        assert 0.2 < frac < 0.4
+
+    def test_extremes(self, rng, generator):
+        data = make_dataset(10, generator=generator, rng=rng)
+        assert RandomDiagnoser(0.0, rng=rng).flags(data).sum() == 0
+        assert RandomDiagnoser(1.0, rng=rng).flags(data).sum() == 10
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            RandomDiagnoser(1.2, rng=rng)
+
+    def test_empty_dataset_fraction_raises(self, rng, generator):
+        data = make_dataset(4, generator=generator, rng=rng)
+        with pytest.raises(ValueError):
+            RandomDiagnoser(0.5, rng=rng).upload_fraction(data.take(0))

@@ -1,0 +1,45 @@
+"""Co-running architectures generalize beyond AlexNet (VGG-16 stack)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import VX690T, NWSArch, WSArch, WSSArch
+from repro.models import diagnosis_spec, vgg16_spec
+
+
+@pytest.fixture(scope="module")
+def nets():
+    inf = vgg16_spec()
+    return inf, diagnosis_spec(inf)
+
+
+class TestVGGCoRunning:
+    def test_wss_still_fastest(self, nets):
+        inf, diag = nets
+        times = {}
+        for cls in (NWSArch, WSArch, WSSArch):
+            arch = cls(2628, shape_for=inf.conv_layers)
+            times[cls.__name__] = arch.conv_runtime(
+                inf, diag, VX690T
+            ).total_s
+        assert times["WSSArch"] < times["NWSArch"]
+        assert times["WSSArch"] < times["WSArch"]
+
+    def test_vgg_conv_much_slower_than_alexnet(self, nets):
+        from repro.models import alexnet_spec
+
+        inf, diag = nets
+        arch = WSSArch(2628)
+        vgg_time = arch.conv_runtime(inf, diag, VX690T).compute_s
+        alex = alexnet_spec()
+        alex_time = arch.conv_runtime(
+            alex, diagnosis_spec(alex), VX690T
+        ).compute_s
+        # VGG-16 conv stack is ~14x AlexNet's conv ops.
+        assert vgg_time > 8 * alex_time
+
+    def test_diagnosis_depth_matches(self, nets):
+        inf, diag = nets
+        assert len(diag.conv_layers) == 13
+        assert diag.fc_layers[-1].out_maps == 100

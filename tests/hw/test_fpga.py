@@ -1,0 +1,87 @@
+"""FPGA layer-time model and the Fig. 13/14 batch optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import TX1, VX690T, TmTnEngine
+from repro.hw.fpga import (
+    fc_data_access_bytes,
+    fc_layer_time,
+    network_time,
+    perf_per_watt,
+)
+from repro.hw.gpu import perf_per_watt as gpu_perf_per_watt
+from repro.models import alexnet_spec
+
+
+@pytest.fixture
+def alexnet():
+    return alexnet_spec()
+
+
+@pytest.fixture
+def engine(alexnet):
+    return TmTnEngine.best_for(alexnet.conv_layers, 2048)
+
+
+class TestFCDataAccess:
+    def test_batch_optimized_reads_weights_once(self, alexnet):
+        fc6 = alexnet.layer("fc6")
+        opt = fc_data_access_bytes(fc6, 8, batch_optimized=True)
+        naive = fc_data_access_bytes(fc6, 8, batch_optimized=False)
+        assert naive > 7 * opt  # weights dominate and are read 8x vs 1x
+
+    def test_batch_1_identical(self, alexnet):
+        fc6 = alexnet.layer("fc6")
+        assert fc_data_access_bytes(
+            fc6, 1, batch_optimized=True
+        ) == fc_data_access_bytes(fc6, 1, batch_optimized=False)
+
+    def test_rejects_conv(self, alexnet):
+        with pytest.raises(ValueError):
+            fc_data_access_bytes(alexnet.layer("conv1"), 1, batch_optimized=True)
+
+
+class TestFCLayerTime:
+    def test_fig13_batch_opt_improves_per_image_time(self, alexnet, engine):
+        """The green batch loop of Fig. 13: weight reuse across the batch."""
+        fc6 = alexnet.layer("fc6")
+        naive = fc_layer_time(fc6, engine, VX690T, 16, batch_optimized=False)
+        opt = fc_layer_time(fc6, engine, VX690T, 16, batch_optimized=True)
+        assert opt < naive / 4
+
+    def test_without_batch_opt_time_linear_in_batch(self, alexnet, engine):
+        fc6 = alexnet.layer("fc6")
+        t1 = fc_layer_time(fc6, engine, VX690T, 1, batch_optimized=False)
+        t8 = fc_layer_time(fc6, engine, VX690T, 8, batch_optimized=False)
+        assert t8 == pytest.approx(8 * t1, rel=0.05)
+
+
+class TestNetworkTiming:
+    def test_fig14_conv_efficiency_flat_on_fpga(self, alexnet, engine):
+        """FPGA conv perf/W is batch-independent (Eq. 4 has no batch term)."""
+        timings = [
+            network_time(alexnet, engine, VX690T, b).conv_s / b
+            for b in (1, 4, 16)
+        ]
+        assert max(timings) == pytest.approx(min(timings), rel=1e-6)
+
+    def test_fig14_fcn_efficiency_improves_with_batch_opt(self, alexnet, engine):
+        per_image_1 = network_time(alexnet, engine, VX690T, 1).fc_s
+        per_image_16 = network_time(alexnet, engine, VX690T, 16).fc_s / 16
+        assert per_image_16 < per_image_1 / 2
+
+    def test_fig14_gpu_beats_fpga_overall(self, alexnet, engine):
+        """Section IV-A2: GPU's overall energy-efficiency (CONV+FCN) is
+        better than FPGA's in Single-running mode — the reason the paper
+        picks the GPU for that mode."""
+        for batch in (1, 8, 32):
+            assert gpu_perf_per_watt(alexnet, TX1, batch) > perf_per_watt(
+                alexnet, engine, VX690T, batch
+            )
+
+    def test_throughput_positive(self, alexnet, engine):
+        timing = network_time(alexnet, engine, VX690T, 4)
+        assert timing.throughput_ips > 0
+        assert timing.total_s == timing.conv_s + timing.fc_s

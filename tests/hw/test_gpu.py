@@ -1,0 +1,123 @@
+"""GPU analytical model: Eqs. (2)-(9) and the paper's Fig. 11/12 shapes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hw import TX1
+from repro.hw.gpu import (
+    conv_layer_time,
+    fc_layer_time,
+    grid_size,
+    max_batch_under_memory,
+    memory_required,
+    network_time,
+    perf_per_watt,
+    utilization,
+)
+from repro.models import alexnet_spec
+from repro.models.layer_specs import LayerSpec
+
+
+@pytest.fixture
+def alexnet():
+    return alexnet_spec()
+
+
+class TestGridAndUtilization:
+    def test_grid_size_formula(self, alexnet):
+        conv1 = alexnet.layer("conv1")
+        expected = math.ceil(96 / TX1.tile_m) * math.ceil(55 * 55 / TX1.tile_n)
+        assert grid_size(conv1, TX1) == expected
+
+    def test_batch_scales_grid(self, alexnet):
+        conv1 = alexnet.layer("conv1")
+        assert grid_size(conv1, TX1, 8) > grid_size(conv1, TX1, 1)
+
+    def test_utilization_bounds(self, alexnet):
+        for layer in alexnet.layers:
+            for batch in (1, 4, 32):
+                util = utilization(layer, TX1, batch)
+                assert 0.0 < util <= 1.0
+
+    def test_batching_improves_fc_utilization(self, alexnet):
+        """Eq. (3): batch raises grid size, filling idle blocks (Fig. 15)."""
+        fc8 = alexnet.layer("fc8")
+        assert utilization(fc8, TX1, 32) >= utilization(fc8, TX1, 1)
+
+    def test_batch_must_be_positive(self, alexnet):
+        with pytest.raises(ValueError):
+            grid_size(alexnet.layer("conv1"), TX1, 0)
+
+
+class TestLayerTimes:
+    def test_conv_time_positive_and_scales(self, alexnet):
+        conv2 = alexnet.layer("conv2")
+        t1 = conv_layer_time(conv2, TX1, 1)
+        t8 = conv_layer_time(conv2, TX1, 8)
+        assert 0 < t1 < t8
+
+    def test_fc_memory_bound_at_batch_1(self, alexnet):
+        """FCN at batch 1 runs at memory speed: time ~ weight bytes / MBW."""
+        fc6 = alexnet.layer("fc6")
+        t = fc_layer_time(fc6, TX1, 1)
+        mem_floor = fc6.weight_bytes / TX1.mem_bandwidth_bps
+        assert t == pytest.approx(mem_floor, rel=0.1)
+
+    def test_fc_batching_amortizes_weights(self, alexnet):
+        """Per-image FCN time shrinks with batch (weight reuse)."""
+        fc6 = alexnet.layer("fc6")
+        per_image_1 = fc_layer_time(fc6, TX1, 1)
+        per_image_32 = fc_layer_time(fc6, TX1, 32) / 32
+        assert per_image_32 < per_image_1 / 4
+
+    def test_fc_time_rejects_conv(self, alexnet):
+        with pytest.raises(ValueError):
+            fc_layer_time(alexnet.layer("conv1"), TX1, 1)
+
+
+class TestNetworkTiming:
+    def test_fig11_latency_monotone_in_batch(self, alexnet):
+        latencies = [
+            network_time(alexnet, TX1, b).total_s for b in (1, 2, 4, 8, 16)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_fig11_efficiency_improves_with_batch(self, alexnet):
+        ppw = [perf_per_watt(alexnet, TX1, b) for b in (1, 4, 16, 64)]
+        assert ppw == sorted(ppw)
+
+    def test_fig12_fcn_dominates_small_batch(self, alexnet):
+        """FCN layers are ~50%+ of runtime at batch 1, fading with batch."""
+        t1 = network_time(alexnet, TX1, 1)
+        t32 = network_time(alexnet, TX1, 32)
+        assert t1.fc_s / t1.total_s > 0.4
+        assert t32.fc_s / t32.total_s < t1.fc_s / t1.total_s
+
+    def test_batch1_latency_plausible_for_tx1(self, alexnet):
+        """Real TX1 AlexNet inference is ~10-30 ms."""
+        assert 0.005 < network_time(alexnet, TX1, 1).total_s < 0.05
+
+    def test_mean_utilization_bounds(self, alexnet):
+        timing = network_time(alexnet, TX1, 4)
+        assert 0.0 < timing.mean_utilization <= 1.0
+
+
+class TestMemoryModel:
+    def test_memory_grows_with_batch(self, alexnet):
+        assert memory_required(alexnet, 16) > memory_required(alexnet, 1)
+
+    def test_max_batch_fits(self, alexnet):
+        best = max_batch_under_memory(alexnet, TX1)
+        assert memory_required(alexnet, best) <= TX1.mem_capacity_bytes
+        assert memory_required(alexnet, best + 1) > TX1.mem_capacity_bytes
+
+    def test_too_large_network_rejected(self):
+        huge = LayerSpec("x", "fc", 100_000, 100_000, 1, 1, 1)
+        from repro.models.layer_specs import NetworkSpec
+
+        net = NetworkSpec("huge", (huge,))
+        with pytest.raises(ValueError):
+            max_batch_under_memory(net, TX1)

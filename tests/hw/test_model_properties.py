@@ -1,0 +1,140 @@
+"""Property-based tests on the analytical hardware models.
+
+These pin down the invariants the planners rely on: utilizations live in
+(0, 1], ceil-based cycle counts never undercount work, batching never
+reduces total latency, and the pipeline period is exactly the max of its
+stages — across randomized layer shapes, not just AlexNet's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import TX1, PEArrayEngine, TmTnEngine
+from repro.hw.gpu import (
+    conv_layer_time,
+    fc_layer_time,
+    memory_required,
+    utilization,
+)
+from repro.models.layer_specs import LayerSpec, NetworkSpec
+
+conv_specs = st.builds(
+    LayerSpec,
+    name=st.just("conv"),
+    kind=st.just("conv"),
+    out_maps=st.integers(1, 512),
+    in_maps=st.integers(1, 512),
+    kernel=st.integers(1, 11),
+    out_rows=st.integers(1, 64),
+    out_cols=st.integers(1, 64),
+    stride=st.integers(1, 4),
+)
+
+fc_specs = st.builds(
+    LayerSpec,
+    name=st.just("fc"),
+    kind=st.just("fc"),
+    out_maps=st.integers(1, 8192),
+    in_maps=st.integers(1, 8192),
+    kernel=st.just(1),
+    out_rows=st.just(1),
+    out_cols=st.just(1),
+)
+
+
+class TestGPUProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(layer=conv_specs, batch=st.integers(1, 64))
+    def test_utilization_bounds(self, layer, batch):
+        util = utilization(layer, TX1, batch)
+        assert 0.0 < util <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(layer=conv_specs, batch=st.integers(1, 32))
+    def test_conv_time_never_beats_peak(self, layer, batch):
+        """No layer can run faster than the device's peak throughput."""
+        t = conv_layer_time(layer, TX1, batch)
+        assert t >= layer.ops * batch / TX1.max_ops - 1e-15
+
+    @settings(max_examples=60, deadline=None)
+    @given(layer=fc_specs, batch=st.integers(1, 32))
+    def test_fc_time_respects_both_roofs(self, layer, batch):
+        """Eq. (6): achieved perf is below compute AND bandwidth roofs."""
+        t = fc_layer_time(layer, TX1, batch)
+        assert t >= layer.ops * batch / TX1.max_ops - 1e-15
+        weight_floor = layer.weight_bytes / TX1.mem_bandwidth_bps
+        assert t >= weight_floor * 0.99
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=conv_specs, batch=st.integers(1, 31))
+    def test_memory_monotone_and_time_bounded(self, layer, batch):
+        """Memory grows with batch; time never exceeds the worst-case
+        single-resident-block rate (util >= 1/max_blocks).
+
+        Note total latency is NOT monotone in batch for tiny layers: Eq. 3
+        utilization is a sawtooth in grid size, so an extra image can raise
+        utilization enough to shrink the whole batch's latency.  The tests
+        assert only what the model actually guarantees.
+        """
+        net = NetworkSpec("n", (layer,))
+        assert memory_required(net, batch + 1) >= memory_required(net, batch)
+        worst = layer.ops * batch / (TX1.max_ops / TX1.max_blocks)
+        assert conv_layer_time(layer, TX1, batch) <= worst + 1e-15
+
+
+class TestEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        layer=conv_specs,
+        tm=st.integers(1, 64),
+        tn=st.integers(1, 64),
+    )
+    def test_tm_tn_cycles_cover_all_work(self, layer, tm, tn):
+        """Cycle count x PEs never falls below the MAC count (ops/2)."""
+        engine = TmTnEngine(tm, tn)
+        macs = layer.ops // 2
+        assert engine.conv_cycles(layer) * engine.pe_count >= macs
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        layer=conv_specs,
+        tm=st.integers(1, 64),
+        tn=st.integers(1, 64),
+    )
+    def test_eq4_utilization_consistent_with_cycles(self, layer, tm, tn):
+        """Eq. (4) equals useful-MACs / (cycles * PEs) exactly."""
+        engine = TmTnEngine(tm, tn)
+        macs = layer.out_maps * layer.in_maps  # per K^2*R*C position
+        padded = (
+            engine.tm
+            * engine.tn
+            * -(-layer.out_maps // engine.tm)
+            * -(-layer.in_maps // engine.tn)
+        )
+        assert engine.utilization(layer) == macs / padded
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        layer=conv_specs,
+        tr=st.integers(1, 32),
+        tc=st.integers(1, 32),
+        group=st.integers(1, 8),
+    )
+    def test_pe_array_group_speedup_bounded(self, layer, tr, tc, group):
+        """group engines are at most group-times faster, never slower."""
+        engine = PEArrayEngine(tr, tc)
+        solo = engine.conv_cycles(layer, parallel_maps=1)
+        grouped = engine.conv_cycles(layer, parallel_maps=group)
+        assert grouped <= solo
+        assert grouped * group >= solo
+
+    @settings(max_examples=40, deadline=None)
+    @given(budget=st.integers(1, 4096))
+    def test_square_factors_within_budget(self, budget):
+        from repro.hw import square_factors
+
+        a, b = square_factors(budget)
+        assert 1 <= a * b <= budget

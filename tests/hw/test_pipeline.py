@@ -1,0 +1,130 @@
+"""WSS-NWS pipeline model and the Fig. 23 throughput search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import VX690T, best_design
+from repro.hw.pipeline import ARCH_FACTORIES
+from repro.models import alexnet_spec, diagnosis_spec
+
+
+@pytest.fixture(scope="module")
+def nets():
+    inf = alexnet_spec()
+    return inf, diagnosis_spec(inf)
+
+
+@pytest.fixture(scope="module")
+def designs(nets):
+    """Best designs per architecture at a relaxed 400 ms requirement."""
+    inf, diag = nets
+    return {
+        name: best_design(
+            name, inf, diag, VX690T, latency_requirement_s=0.4, max_batch=32
+        )
+        for name in ARCH_FACTORIES
+    }
+
+
+class TestEq13:
+    def test_latency_is_twice_period(self, designs):
+        timing = designs["WSS-NWS"]
+        assert timing.latency_s == pytest.approx(2 * timing.period_s)
+
+    def test_period_is_max_of_stages(self, designs):
+        timing = designs["WSS-NWS"]
+        assert timing.period_s == max(timing.conv_stage_s, timing.fcn_stage_s)
+
+    def test_dsp_constraint_eq10(self, designs):
+        for timing in designs.values():
+            assert timing.design.dsp_used <= VX690T.dsp_slices
+
+
+class TestFig23:
+    def test_wss_nws_best_everywhere(self, nets):
+        inf, diag = nets
+        for req in (0.1, 0.4, 0.8):
+            results = {
+                name: best_design(
+                    name, inf, diag, VX690T,
+                    latency_requirement_s=req, max_batch=32,
+                )
+                for name in ARCH_FACTORIES
+            }
+            wss = results["WSS-NWS"]
+            assert wss is not None
+            for name, timing in results.items():
+                if timing is not None and name != "WSS-NWS":
+                    assert wss.throughput_ips >= timing.throughput_ips
+
+    def test_ws_fails_strict_latency(self, nets):
+        """Fig. 23: WS cannot meet the 50 ms requirement (marked x)."""
+        inf, diag = nets
+        assert (
+            best_design(
+                "WS", inf, diag, VX690T, latency_requirement_s=0.05, max_batch=32
+            )
+            is None
+        )
+
+    def test_wss_nws_meets_strict_latency(self, nets):
+        inf, diag = nets
+        timing = best_design(
+            "WSS-NWS", inf, diag, VX690T, latency_requirement_s=0.05, max_batch=32
+        )
+        assert timing is not None
+        assert timing.latency_s <= 0.05
+
+    def test_nws_throughput_flat_in_requirement(self, nets):
+        """Without batch optimization, looser latency buys NWS nothing."""
+        inf, diag = nets
+        strict = best_design(
+            "NWS", inf, diag, VX690T, latency_requirement_s=0.1, max_batch=32
+        )
+        loose = best_design(
+            "NWS", inf, diag, VX690T, latency_requirement_s=0.8, max_batch=32
+        )
+        assert loose.throughput_ips == pytest.approx(
+            strict.throughput_ips, rel=0.1
+        )
+
+    def test_wss_at_strict_beats_nws_batch_at_loose(self, nets):
+        """The paper's headline Fig. 23 claim."""
+        inf, diag = nets
+        wss_strict = best_design(
+            "WSS-NWS", inf, diag, VX690T, latency_requirement_s=0.05, max_batch=32
+        )
+        nws_loose = best_design(
+            "NWS-batch", inf, diag, VX690T, latency_requirement_s=0.8, max_batch=32
+        )
+        assert wss_strict.throughput_ips > nws_loose.throughput_ips
+
+
+class TestSearchValidation:
+    def test_unknown_arch(self, nets):
+        inf, diag = nets
+        with pytest.raises(KeyError):
+            best_design("XYZ", inf, diag, VX690T, latency_requirement_s=0.1)
+
+    def test_bad_latency(self, nets):
+        inf, diag = nets
+        with pytest.raises(ValueError):
+            best_design(
+                "NWS", inf, diag, VX690T, latency_requirement_s=0.0
+            )
+
+    def test_impossible_latency_returns_none(self, nets):
+        inf, diag = nets
+        assert (
+            best_design(
+                "WSS-NWS", inf, diag, VX690T,
+                latency_requirement_s=1e-6, max_batch=4,
+            )
+            is None
+        )
+
+    def test_diagnosis_sustainability_flag(self, nets, designs):
+        inf, diag = nets
+        timing = designs["WSS-NWS"]
+        assert timing.diagnosis_fcn_sustainable(diag, VX690T) in (True, False)

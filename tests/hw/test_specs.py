@@ -1,0 +1,44 @@
+"""Device spec invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import TITAN_X, TX1, VX690T, FPGASpec, GPUSpec
+
+
+class TestGPUSpec:
+    def test_tx1_peak(self):
+        """TX1 fp32 peak is ~512 GFLOP/s."""
+        assert 4.5e11 < TX1.max_ops < 5.5e11
+
+    def test_titan_x_peak(self):
+        """Titan X Maxwell is ~6.6 TFLOP/s."""
+        assert 6e12 < TITAN_X.max_ops < 7e12
+
+    def test_power_model_bounds(self):
+        assert TX1.power(0.0) == TX1.idle_power_w
+        assert TX1.power(1.0) == TX1.peak_power_w
+        assert TX1.idle_power_w < TX1.power(0.5) < TX1.peak_power_w
+
+    def test_power_rejects_bad_util(self):
+        with pytest.raises(ValueError):
+            TX1.power(1.5)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 0, 256, 32, 32, 32, 1e9, 1e9, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 1e9, 256, 32, 32, 32, 1e9, 1e9, 20.0, 10.0)
+
+    def test_cloud_device_much_faster_than_node(self):
+        assert TITAN_X.max_ops > 10 * TX1.max_ops
+
+
+class TestFPGASpec:
+    def test_vx690t_dsps(self):
+        assert VX690T.dsp_slices == 3600
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            FPGASpec("bad", 150e6, 0, 1e6, 1e9, 25.0)

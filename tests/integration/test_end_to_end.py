@@ -1,0 +1,101 @@
+"""Integration: the full In-situ AI loop on one node, end to end.
+
+Exercises the whole public API together: unsupervised pre-training ->
+transfer -> node deployment -> diagnosis -> upload -> incremental update ->
+redeployment, asserting the paper's qualitative claims along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InSituCloud, InSituNode, SingleRunningPlanner
+from repro.data import DriftModel, ImageGenerator, IoTStream, make_dataset
+from repro.diagnosis import OracleDiagnoser
+from repro.hw import TX1
+from repro.models import alexnet_spec, diagnosis_spec
+from repro.selfsup import PermutationSet
+from repro.transfer import evaluate
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(11)
+    generator = ImageGenerator(48, 4, rng=rng)
+    permset = PermutationSet.generate(6, rng=rng)
+    cloud = InSituCloud(
+        4, permset, cost_spec=alexnet_spec(), rng=np.random.default_rng(1)
+    )
+    raw = make_dataset(
+        120, generator=generator, drift=DriftModel(0.3, rng=rng), rng=rng
+    ).as_unlabeled()
+    labeled = make_dataset(
+        120, generator=generator, drift=DriftModel(0.3, rng=rng), rng=rng
+    )
+    eval_set = make_dataset(
+        120, generator=generator, drift=DriftModel(0.4, rng=rng), rng=rng
+    )
+    cloud.unsupervised_pretrain(raw, epochs=3)
+    cloud.initialize_inference(labeled, epochs=8)
+    return rng, generator, cloud, eval_set
+
+
+class TestFullLoop:
+    def test_loop_improves_and_moves_less(self, world):
+        rng, generator, cloud, eval_set = world
+        inf_spec = alexnet_spec()
+        planner = SingleRunningPlanner(TX1)
+        config = planner.plan(
+            inf_spec, diagnosis_spec(inf_spec), latency_requirement_s=0.1
+        )
+
+        node = InSituNode(
+            cloud.inference_net,
+            OracleDiagnoser(cloud.inference_net),
+            inference_spec=inf_spec,
+            diagnosis_spec=diagnosis_spec(inf_spec),
+            gpu=TX1,
+            inference_batch=config.inference_batch,
+            diagnosis_batch=min(config.diagnosis_batch, 64),
+        )
+
+        stream = IoTStream(
+            generator,
+            scale=0.4,
+            schedule_k=(100, 200, 400),
+            severities=(0.35, 0.4, 0.35),
+            rng=rng,
+        )
+        upload_fractions = []
+        accuracies = [evaluate(cloud.inference_net, eval_set)]
+        for stage in stream.stages():
+            report = node.process_stage(stage)
+            upload_fractions.append(report.flagged_fraction)
+            if len(report.upload_data):
+                cloud.incremental_update(
+                    report.upload_data, weight_shared=True, epochs=2
+                )
+                node.deploy(cloud.model_state())
+            accuracies.append(evaluate(cloud.inference_net, eval_set))
+
+        # Accuracy improves over the run...
+        assert accuracies[-1] > accuracies[0]
+        # ...and the node uploads less than everything once warmed up.
+        assert upload_fractions[-1] < 1.0
+
+    def test_node_and_cloud_models_stay_in_sync(self, world):
+        rng, generator, cloud, _ = world
+        inf_spec = alexnet_spec()
+        node = InSituNode(
+            cloud.inference_net,
+            None,
+            inference_spec=inf_spec,
+            diagnosis_spec=diagnosis_spec(inf_spec),
+            gpu=TX1,
+        )
+        node.deploy(cloud.model_state())
+        x = generator.batch(np.zeros(2, dtype=int))
+        assert np.allclose(
+            node.inference_net.predict(x), cloud.inference_net.predict(x)
+        )

@@ -1,0 +1,44 @@
+"""The example scripts must stay runnable (the fast, analytical ones)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestAnalyticalExamples:
+    def test_surveillance_corunning(self):
+        out = run_example("surveillance_corunning.py")
+        assert "co-running" in out
+        assert "WSS-NWS" in out
+        assert "cannot meet the requirement" in out  # WS at 50 ms
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "GPU batch-size trade-off" in out
+        assert "CONV-5" in out
+
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "wildlife_monitoring.py",
+            "surveillance_corunning.py",
+            "design_space_exploration.py",
+        } <= names

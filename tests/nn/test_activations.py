@@ -1,0 +1,83 @@
+"""Activation layers: values, gradients, softmax properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh, softmax
+
+
+class TestReLU:
+    def test_values(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert out.tolist() == [[0.0, 0.0, 2.0]]
+
+    def test_gradient_masks_negatives(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]), training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0]]
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros(3))
+
+
+class TestLeakyReLU:
+    def test_negative_slope(self):
+        layer = LeakyReLU(slope=0.1)
+        out = layer.forward(np.array([-10.0, 10.0]))
+        assert np.allclose(out, [-1.0, 10.0])
+
+    def test_invalid_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(slope=-0.5)
+
+
+class TestTanhSigmoid:
+    @pytest.mark.usefixtures("float64_mode")
+    def test_tanh_gradcheck(self, gradcheck, rng):
+        gradcheck(Tanh(), rng.normal(size=(2, 5)))
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_sigmoid_gradcheck(self, gradcheck, rng):
+        gradcheck(Sigmoid(), rng.normal(size=(2, 5)))
+
+    def test_sigmoid_saturation_is_finite(self):
+        out = Sigmoid().forward(np.array([1000.0, -1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(4, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_softmax_layer_gradcheck(self, gradcheck, rng):
+        gradcheck(Softmax(), rng.normal(size=(3, 4)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        logits=arrays(
+            np.float64,
+            (2, 6),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_probabilities_valid(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        assert np.all(probs <= 1)
+        assert np.allclose(probs.sum(axis=-1), 1.0)

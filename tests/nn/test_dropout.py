@@ -1,0 +1,48 @@
+"""Dropout layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_and_scales(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((10, 1000))
+        out = layer.forward(x, training=True)
+        kept = out != 0.0
+        # Survivors are scaled by 1/keep = 2.
+        assert np.allclose(out[kept], 2.0)
+        assert 0.4 < kept.mean() < 0.6
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = np.full((100, 100), 3.0)
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((4, 50))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_rate_zero_passthrough(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(2, 5))
+        assert np.array_equal(layer.forward(x, training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,94 @@
+"""Grouped convolution (AlexNet's two-tower convs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D
+
+
+class TestGroupedConvConstruction:
+    def test_weight_shape(self, rng):
+        conv = Conv2D(8, 16, 3, groups=2, rng=rng)
+        assert conv.weight.shape == (16, 4, 3, 3)
+
+    def test_channel_divisibility_enforced(self, rng):
+        with pytest.raises(ValueError):
+            Conv2D(7, 16, 3, groups=2, rng=rng)
+        with pytest.raises(ValueError):
+            Conv2D(8, 15, 3, groups=2, rng=rng)
+
+    def test_fewer_parameters_than_dense(self, rng):
+        dense = Conv2D(8, 16, 3, rng=rng)
+        grouped = Conv2D(8, 16, 3, groups=2, rng=rng)
+        assert grouped.num_parameters < dense.num_parameters
+
+
+class TestGroupedConvSemantics:
+    def test_matches_two_independent_convs(self, rng):
+        """A groups=2 conv equals two half-size convs stacked."""
+        grouped = Conv2D(4, 6, 3, pad=1, groups=2, rng=rng, name="g")
+        a = Conv2D(2, 3, 3, pad=1, rng=rng, name="a")
+        b = Conv2D(2, 3, 3, pad=1, rng=rng, name="b")
+        a.weight.data[...] = grouped.weight.data[:3]
+        b.weight.data[...] = grouped.weight.data[3:]
+        a.bias.data[...] = grouped.bias.data[:3]
+        b.bias.data[...] = grouped.bias.data[3:]
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        expected = np.concatenate(
+            [a.forward(x[:, :2]), b.forward(x[:, 2:])], axis=1
+        )
+        assert np.allclose(grouped.forward(x), expected, atol=1e-5)
+
+    def test_cross_group_independence(self, rng):
+        """Changing group-2 input channels never affects group-1 outputs."""
+        conv = Conv2D(4, 4, 3, pad=1, groups=2, rng=rng)
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        base = conv.forward(x)
+        x2 = x.copy()
+        x2[:, 2:] += 10.0
+        shifted = conv.forward(x2)
+        assert np.allclose(base[:, :2], shifted[:, :2])
+        assert not np.allclose(base[:, 2:], shifted[:, 2:])
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        conv = Conv2D(4, 6, 3, pad=1, groups=2, rng=rng, name="g")
+        gradcheck(conv, rng.normal(size=(2, 4, 5, 5)))
+
+    def test_frozen_grouped_skips_weight_grad(self, rng):
+        conv = Conv2D(4, 4, 3, pad=1, groups=2, rng=rng)
+        conv.freeze()
+        x = rng.normal(size=(1, 4, 4, 4)).astype(np.float32)
+        out = conv.forward(x, training=True)
+        conv.backward(np.ones_like(out))
+        assert np.all(conv.weight.grad == 0.0)
+
+    def test_skip_input_grad_grouped(self, rng):
+        conv = Conv2D(4, 4, 3, pad=1, groups=2, rng=rng)
+        conv.skip_input_grad = True
+        x = rng.normal(size=(1, 4, 4, 4)).astype(np.float32)
+        out = conv.forward(x, training=True)
+        grad_in = conv.backward(np.ones_like(out))
+        assert np.all(grad_in == 0.0)
+        assert not np.all(conv.weight.grad == 0.0)
+
+
+class TestGroupedSpec:
+    def test_grouped_alexnet_ops_match_literature(self):
+        """The grouped original is ~1.45 GOPs of conv."""
+        from repro.models import alexnet_spec
+
+        grouped = alexnet_spec(grouped=True)
+        single = alexnet_spec()
+        assert 1.3e9 < grouped.conv_ops < 1.6e9
+        assert grouped.conv_ops < single.conv_ops
+        # FCN layers identical between the variants.
+        assert grouped.fc_ops == single.fc_ops
+
+    def test_grouped_spec_validation(self):
+        from repro.models.layer_specs import LayerSpec
+
+        with pytest.raises(ValueError):
+            LayerSpec("c", "conv", 15, 8, 3, 4, 4, groups=2)

@@ -1,0 +1,51 @@
+"""Linear (FCN) layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+
+
+class TestLinear:
+    def test_forward_values(self, rng):
+        fc = Linear(3, 2, rng=rng)
+        fc.weight.data[...] = [[1, 0, 0], [0, 1, 0]]
+        fc.bias.data[...] = [10, 20]
+        out = fc.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out, [[11.0, 22.0]])
+
+    def test_flattens_spatial_input(self, rng):
+        fc = Linear(12, 4, rng=rng)
+        out = fc.forward(rng.normal(size=(2, 3, 2, 2)))
+        assert out.shape == (2, 4)
+
+    def test_output_shape_validates(self, rng):
+        fc = Linear(8, 4, rng=rng)
+        assert fc.output_shape((8,)) == (4,)
+        assert fc.output_shape((2, 2, 2)) == (4,)
+        with pytest.raises(ValueError):
+            fc.output_shape((9,))
+
+    def test_wrong_width_raises(self, rng):
+        fc = Linear(8, 4, rng=rng)
+        with pytest.raises(ValueError):
+            fc.forward(rng.normal(size=(1, 7)))
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        fc = Linear(6, 4, rng=rng, name="fc")
+        gradcheck(fc, rng.normal(size=(3, 6)))
+
+    def test_backward_without_forward_raises(self, rng):
+        fc = Linear(4, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            fc.backward(np.zeros((1, 2)))
+
+    def test_frozen_parameters_skip_grads(self, rng):
+        fc = Linear(4, 2, rng=rng)
+        fc.freeze()
+        out = fc.forward(rng.normal(size=(2, 4)), training=True)
+        fc.backward(np.ones_like(out))
+        assert np.all(fc.weight.grad == 0.0)

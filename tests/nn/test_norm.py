@@ -1,0 +1,64 @@
+"""Normalization layers: LRN and BatchNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2D, LocalResponseNorm
+
+
+class TestLocalResponseNorm:
+    def test_shape_preserved(self, rng):
+        layer = LocalResponseNorm(size=5)
+        x = rng.normal(size=(2, 8, 4, 4))
+        assert layer.forward(x).shape == x.shape
+
+    def test_suppresses_strong_neighbors(self):
+        """A channel flanked by large activations is normalized down more."""
+        layer = LocalResponseNorm(size=3, alpha=1.0, beta=0.75, k=1.0)
+        quiet = np.zeros((1, 3, 1, 1))
+        quiet[0, 1] = 1.0
+        loud = np.ones((1, 3, 1, 1)) * 5.0
+        loud[0, 1] = 1.0
+        out_quiet = layer.forward(quiet)[0, 1, 0, 0]
+        out_loud = layer.forward(loud)[0, 1, 0, 0]
+        assert out_loud < out_quiet
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        layer = LocalResponseNorm(size=3, alpha=0.3, beta=0.75, k=2.0)
+        gradcheck(layer, rng.normal(size=(2, 5, 3, 3)))
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self, rng):
+        layer = BatchNorm2D(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm2D(2, momentum=0.5)
+        for _ in range(20):
+            layer.forward(
+                rng.normal(loc=5.0, size=(16, 2, 3, 3)), training=True
+            )
+        assert np.allclose(layer.running_mean, 5.0, atol=0.3)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = layer.forward(x, training=False)
+        # Fresh layer: running mean 0, var 1 -> output ~ input.
+        assert np.allclose(out, x, atol=1e-3)
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        layer = BatchNorm2D(3)
+        gradcheck(layer, rng.normal(size=(4, 3, 2, 2)), tol=1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2D(4).forward(rng.normal(size=(1, 3, 2, 2)))

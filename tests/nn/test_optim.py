@@ -1,0 +1,86 @@
+"""SGD optimizer and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, ConstantLR, StepLR
+from repro.nn.tensor import Parameter
+
+
+def make_param(value=1.0, grad=1.0):
+    p = Parameter(np.array([value]))
+    p.grad[...] = grad
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param(1.0, grad=2.0)
+        SGD([p], lr=0.1, momentum=0.0).step()
+        assert p.data[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0, grad=1.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        opt.step()  # v = -1,   x = -1
+        p.grad[...] = 1.0
+        opt.step()  # v = -1.5, x = -2.5
+        assert p.data[0] == pytest.approx(-2.5)
+
+    def test_weight_decay(self):
+        p = make_param(10.0, grad=0.0)
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1).step()
+        assert p.data[0] == pytest.approx(10.0 - 0.1 * 0.1 * 10.0)
+
+    def test_frozen_parameter_untouched(self):
+        p = make_param(5.0, grad=100.0)
+        p.frozen = True
+        SGD([p], lr=1.0).step()
+        assert p.data[0] == 5.0
+
+    def test_zero_grad(self):
+        p = make_param(grad=3.0)
+        SGD([p]).zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], weight_decay=-1.0)
+
+    def test_converges_on_quadratic(self):
+        """Minimize (x - 3)^2 — sanity of the whole update rule."""
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            p.zero_grad()
+            p.accumulate(2.0 * (p.data - 3.0))
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-4)
+
+
+class TestSchedules:
+    def test_step_lr_decays(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_constant_lr(self):
+        opt = SGD([make_param()], lr=0.5)
+        ConstantLR(opt).step()
+        assert opt.lr == 0.5
+
+    def test_invalid_schedule_params(self):
+        opt = SGD([make_param()])
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=1, gamma=0.0)

@@ -1,0 +1,75 @@
+"""Pooling layers: values, gradients for tiled and overlapping paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_output_shape(self):
+        assert MaxPool2D(3, stride=2).output_shape((8, 13, 13)) == (8, 6, 6)
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck_tiled(self, gradcheck, rng):
+        # Distinct values avoid max ties, keeping the gradient smooth.
+        x = rng.permutation(64).reshape(1, 1, 8, 8).astype(np.float64)
+        gradcheck(MaxPool2D(2), x)
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck_overlapping(self, gradcheck, rng):
+        x = rng.permutation(49).reshape(1, 1, 7, 7).astype(np.float64)
+        gradcheck(MaxPool2D(3, stride=2), x)
+
+    def test_tie_gradient_splits(self):
+        """Equal values in one window share the gradient."""
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        out = pool.forward(x, training=True)
+        grad = pool.backward(np.full_like(out, 4.0))
+        assert np.allclose(grad, 1.0)
+
+    def test_gradient_conservation(self, rng):
+        pool = MaxPool2D(2)
+        x = rng.normal(size=(2, 3, 6, 6))
+        out = pool.forward(x, training=True)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = pool.backward(grad_out)
+        assert np.isclose(grad_in.sum(), grad_out.sum())
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        assert AvgPool2D(2).forward(x).item() == pytest.approx(1.5)
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        gradcheck(AvgPool2D(2), rng.normal(size=(2, 2, 6, 6)))
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck_overlapping(self, gradcheck, rng):
+        gradcheck(AvgPool2D(3, stride=2), rng.normal(size=(1, 2, 7, 7)))
+
+
+class TestGlobalAvgPool:
+    def test_values(self):
+        x = np.stack(
+            [np.full((4, 4), 2.0), np.full((4, 4), 6.0)]
+        ).reshape(1, 2, 4, 4)
+        out = GlobalAvgPool2D().forward(x)
+        assert out.tolist() == [[2.0, 6.0]]
+
+    def test_output_shape(self):
+        assert GlobalAvgPool2D().output_shape((32, 6, 6)) == (32,)
+
+    @pytest.mark.usefixtures("float64_mode")
+    def test_gradcheck(self, gradcheck, rng):
+        gradcheck(GlobalAvgPool2D(), rng.normal(size=(2, 3, 4, 4)))

@@ -1,0 +1,22 @@
+"""Numeric-gradient helper shared by the loss tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numeric_loss_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar loss w.r.t. ``x``."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = fn(x)
+        flat_x[i] = original - eps
+        minus = fn(x)
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad

@@ -1,0 +1,46 @@
+"""CLI experiment runner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reports.cli import _EXPERIMENTS, main
+from repro.reports.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_title_and_cells(self):
+        out = format_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        assert "=== T ===" in out
+        assert "333" in out
+
+    def test_alignment(self):
+        out = format_table("T", ["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        # Header padded to the longest cell.
+        assert lines[1].startswith("col")
+
+    def test_empty_rows(self):
+        out = format_table("T", ["a"], [])
+        assert out.splitlines() == ["=== T ===", "a"]
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 15" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig11", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 11" in out and "Fig. 12" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_cheap_experiments_registered(self):
+        for name in ("fig11", "fig12", "fig14", "fig15", "fig16", "fig22",
+                     "engines"):
+            assert name in _EXPERIMENTS

@@ -1,0 +1,83 @@
+"""Permutation-set generation and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selfsup import PermutationSet, max_hamming_permutations
+
+
+class TestMaxHamming:
+    def test_rows_are_permutations(self, rng):
+        perms = max_hamming_permutations(20, 9, rng=rng)
+        assert perms.shape == (20, 9)
+        for row in perms:
+            assert sorted(row.tolist()) == list(range(9))
+
+    def test_distinct(self, rng):
+        perms = max_hamming_permutations(30, 9, rng=rng)
+        assert len({tuple(r) for r in perms}) == 30
+
+    def test_better_separated_than_random(self, rng):
+        """Greedy maximin selection beats uniform-random selection on the
+        minimum pairwise Hamming distance."""
+        chosen = PermutationSet(max_hamming_permutations(15, 9, rng=rng))
+        rand_rng = np.random.default_rng(0)
+        rows = {tuple(rand_rng.permutation(9)) for _ in range(60)}
+        random_set = PermutationSet(np.array(sorted(rows)[:15]))
+        assert (
+            chosen.min_pairwise_hamming() >= random_set.min_pairwise_hamming()
+        )
+
+    def test_too_many_for_small_tiles(self, rng):
+        with pytest.raises(ValueError):
+            max_hamming_permutations(10, 3, rng=rng)  # 3! = 6 < 10
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            max_hamming_permutations(0, 9, rng=rng)
+        with pytest.raises(ValueError):
+            max_hamming_permutations(5, 1, rng=rng)
+
+
+class TestPermutationSet:
+    def test_generate_default(self, rng):
+        permset = PermutationSet.generate(16, rng=rng)
+        assert len(permset) == 16
+        assert permset.num_tiles == 9
+
+    def test_validates_rows(self):
+        with pytest.raises(ValueError, match="not a permutation"):
+            PermutationSet(np.array([[0, 1, 1]]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PermutationSet(np.array([[0, 1, 2], [0, 1, 2]]))
+
+    def test_apply_reorders(self, rng):
+        permset = PermutationSet(np.array([[2, 0, 1]]))
+        tiles = np.arange(3)[:, None, None, None] * np.ones((3, 1, 2, 2))
+        shuffled = permset.apply(tiles, 0)
+        # Position j receives tiles[perm[j]].
+        assert shuffled[0, 0, 0, 0] == 2
+        assert shuffled[1, 0, 0, 0] == 0
+        assert shuffled[2, 0, 0, 0] == 1
+
+    def test_apply_wrong_tile_count(self, rng):
+        permset = PermutationSet.generate(4, num_tiles=9, rng=rng)
+        with pytest.raises(ValueError):
+            permset.apply(np.zeros((4, 3, 2, 2)), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), count=st.integers(2, 12))
+    def test_apply_is_invertible(self, seed, count):
+        """Applying a permutation never loses tiles."""
+        rng = np.random.default_rng(seed)
+        permset = PermutationSet.generate(count, num_tiles=9, rng=rng)
+        tiles = np.arange(9)[:, None, None, None] * np.ones((9, 1, 1, 1))
+        idx = int(rng.integers(0, count))
+        shuffled = permset.apply(tiles, idx)
+        assert sorted(shuffled[:, 0, 0, 0].tolist()) == list(range(9))
