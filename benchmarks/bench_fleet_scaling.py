@@ -1,0 +1,85 @@
+"""Fleet scaling: aggregate data movement and Cloud update cost vs. N.
+
+Beyond the paper: Table II and Fig. 25 are per-node claims.  This bench
+re-runs the four Fig. 24 variants as a *fleet* of N ∈ {1, 4, 16, 64}
+heterogeneous nodes sharing one backhaul and one Cloud, and checks that
+the paper's headline — diagnosis-based systems (c, d) move less data —
+survives aggregation: at every fleet size c and d must move strictly
+fewer aggregate bytes (uplink + model push-downs) than the
+upload-everything systems (a, b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetScenario, fleet_base_scenario, run_fleet_all_systems
+
+FLEET_SIZES = (1, 4, 16, 64)
+
+
+def _scenario(num_nodes: int) -> FleetScenario:
+    return FleetScenario(
+        base=fleet_base_scenario(
+            stream_scale=0.02,
+            pretrain_images=64,
+            pretrain_epochs=1,
+            init_epochs=2,
+            update_epochs=1,
+            eval_images=48,
+        ),
+        num_nodes=num_nodes,
+        seed=0,
+    )
+
+
+def sweep():
+    return {n: run_fleet_all_systems(_scenario(n)) for n in FLEET_SIZES}
+
+
+@pytest.mark.slow
+def bench_fleet_scaling(benchmark, tables):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    mb = 1e6
+    tables(
+        "Fleet scaling — aggregate bytes moved (MB) and Cloud update time (s)",
+        ["nodes"]
+        + [f"{sid} MB" for sid in "abcd"]
+        + [f"{sid} s" for sid in "abcd"],
+        [
+            [n]
+            + [f"{results[n][sid].total_bytes_moved / mb:.1f}" for sid in "abcd"]
+            + [f"{results[n][sid].total_update_time_s:.2f}" for sid in "abcd"]
+            for n in FLEET_SIZES
+        ],
+    )
+    tables(
+        "Fleet scaling — upload makespan of the final stage (s, contended)",
+        ["nodes", "a", "b", "c", "d"],
+        [
+            [n]
+            + [
+                f"{results[n][sid].stages[-1].upload_makespan_s:.1f}"
+                for sid in "abcd"
+            ]
+            for n in FLEET_SIZES
+        ],
+    )
+    for n in FLEET_SIZES:
+        by_id = results[n]
+        # Diagnosis-based variants (Fig. 24 c/d) must move strictly fewer
+        # aggregate bytes than upload-everything variants at every size.
+        for lean in ("c", "d"):
+            for fat in ("a", "b"):
+                assert (
+                    by_id[lean].total_bytes_moved < by_id[fat].total_bytes_moved
+                ), f"N={n}: system {lean} should move fewer bytes than {fat}"
+        # Weight sharing (d) must cut Cloud update time vs. everything else.
+        assert (
+            by_id["d"].total_update_time_s < by_id["a"].total_update_time_s
+        )
+        # Contention: a/b saturate the backhaul at least as long as c/d.
+        assert (
+            by_id["a"].stages[-1].upload_makespan_s
+            >= by_id["c"].stages[-1].upload_makespan_s
+        )

@@ -1,0 +1,134 @@
+"""Fleet rollout: a sanctuary-wide camera-trap deployment.
+
+Eight heterogeneous camera traps — some on WiFi backhaul, some on LTE,
+some thermally throttled — share one uplink and one Cloud.  The Cloud
+pools their flagged uploads, retrains incrementally, canaries every
+candidate model on a subset of nodes, and only rolls out fleet-wide when
+the canaries do not regress.  The second act deliberately poisons an
+update to show the canary guard refusing it: the bad model reaches the
+canary nodes, is rolled back, and never becomes a registry version.
+
+Run:  python examples/fleet_rollout.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import system_by_id
+from repro.data import make_dataset
+from repro.data.images import ImageGenerator
+from repro.fleet import (
+    FleetScenario,
+    fleet_base_scenario,
+    prepare_fleet_assets,
+    run_fleet,
+)
+
+
+def main() -> None:
+    scenario = FleetScenario(
+        base=fleet_base_scenario(
+            stream_scale=0.03,
+            pretrain_images=64,
+            pretrain_epochs=1,
+            init_epochs=3,
+            update_epochs=2,
+            eval_images=64,
+        ),
+        num_nodes=8,
+        lte_fraction=0.5,
+        low_power_fraction=0.25,
+        scheduler_policy="per-stage",
+        seed=7,
+    )
+    print("fleet:")
+    for p in scenario.profiles():
+        print(
+            f"  node {p.node_id}: {p.device_kind:>12s} over {p.link_kind}, "
+            f"drift {min(p.severities):.2f}-{max(p.severities):.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Act 1: the In-situ AI variant (d) at fleet scale.
+    # ------------------------------------------------------------------
+    assets = prepare_fleet_assets(scenario)
+    report = run_fleet(system_by_id("d"), assets)
+    print(f"\ncanary subset: nodes {assets.canary_ids}")
+    for stage in report.stages:
+        verdict = (
+            "promoted" if stage.promoted
+            else ("REJECTED" if stage.updated else "no update")
+        )
+        print(
+            f"stage {stage.stage_index}: uploaded "
+            f"{stage.uploaded}/{stage.acquired} imgs "
+            f"(makespan {stage.upload_makespan_s:.1f}s on the shared uplink), "
+            f"trained on {stage.pooled_for_training}, {verdict}, "
+            f"eval accuracy {stage.eval_accuracy:.0%}"
+        )
+    print(
+        f"\naggregate: {report.total_uploaded_bytes / 1e6:.0f} MB up + "
+        f"{report.total_downloaded_bytes / 1e6:.0f} MB of model pushes = "
+        f"{report.total_bytes_moved / 1e6:.0f} MB moved "
+        f"({report.data_reduction_vs_full:.0%} upload reduction); "
+        f"cloud update time {report.total_update_time_s:.1f}s, "
+        f"model versions {report.registry.history()}"
+    )
+
+    # ------------------------------------------------------------------
+    # Act 2: a poisoned update meets the canary guard.
+    # ------------------------------------------------------------------
+    from repro.core import InSituCloud, ModelRegistry, UpdateGuard
+    from repro.fleet import FleetScheduler
+    from repro.models import alexnet_spec
+
+    base = scenario.base
+    rng = np.random.default_rng(99)
+    generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
+    poison = make_dataset(48, generator=generator, rng=rng)
+    poison.labels = (poison.labels + 1) % base.num_classes  # all labels wrong
+    holdout = make_dataset(64, generator=generator, rng=rng)
+
+    # A fresh Cloud holding the weights the fleet run just deployed.
+    cloud = InSituCloud(
+        base.num_classes,
+        assets.permset,
+        cost_spec=alexnet_spec(),
+        shared_depth=base.shared_depth,
+        width=base.width,
+        hidden=base.hidden,
+        rng=np.random.default_rng(base.seed + 1),
+    )
+    cloud.context_net.load_state_dict(assets.trunk_state)
+    cloud.inference_net.load_state_dict(report.registry.active.state)
+    registry = ModelRegistry()
+    registry.publish(cloud.model_state(), {"origin": "fleet-run"})
+    scheduler = FleetScheduler(
+        cloud=cloud,
+        registry=registry,
+        guard=UpdateGuard(validation_data=holdout, max_regression=0.02),
+        policy="per-stage",
+        canary_ids=assets.canary_ids,
+    )
+    result = scheduler.rollout(
+        99,
+        poison,
+        holdout,
+        all_node_ids=tuple(range(scenario.num_nodes)),
+        weight_shared=True,
+        epochs=4,
+        lr=0.05,
+    )
+    print(
+        f"\npoisoned update: guard saw accuracy "
+        f"{result.decision.accuracy_before:.0%} -> "
+        f"{result.decision.accuracy_after:.0%}, "
+        f"{'promoted (!)' if result.promoted else 'rejected'}; "
+        f"touched nodes {sorted({e.node_id for e in result.events})} "
+        f"(canaries only), registry still at v{registry.active.version}"
+    )
+
+
+if __name__ == "__main__":
+    main()

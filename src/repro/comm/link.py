@@ -58,6 +58,21 @@ class NetworkLink:
     ) -> float:
         return self.transfer_energy_j(images * image_bytes)
 
+    def model_push_time_s(self, model_bytes: int) -> float:
+        """Seconds to push an updated model *down* to the node.
+
+        Fig. 25-style comparisons that only count uploads silently ignore
+        deployment traffic; every model push-down travels the same radio.
+        The link is modeled symmetric, so downlink time reuses the uplink
+        bandwidth — conservative for WiFi, about right for LTE uplink-
+        limited nodes.
+        """
+        return self.transfer_time_s(model_bytes)
+
+    def model_push_energy_j(self, model_bytes: int) -> float:
+        """Node-side radio energy to receive a pushed-down model."""
+        return self.transfer_energy_j(model_bytes)
+
 
 #: 802.11n-class uplink: 20 Mbit/s sustained, ~100 nJ/byte at the radio
 WIFI = NetworkLink(

@@ -9,16 +9,25 @@ __all__ = ["StageMovement", "DataMovementLedger"]
 
 @dataclass(frozen=True)
 class StageMovement:
-    """Bytes and images uploaded during one acquisition stage."""
+    """Bytes and images moved during one acquisition stage.
+
+    ``downloaded_bytes`` counts cloud->node traffic (model push-downs);
+    uploads remain image-denominated because that is what the node ships.
+    """
 
     stage_index: int
     acquired_images: int
     uploaded_images: int
     image_bytes: int
+    downloaded_bytes: int = 0
 
     @property
     def uploaded_bytes(self) -> int:
         return self.uploaded_images * self.image_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uploaded_bytes + self.downloaded_bytes
 
     @property
     def upload_fraction(self) -> float:
@@ -39,18 +48,56 @@ class DataMovementLedger:
     image_bytes: int
     stages: list[StageMovement] = field(default_factory=list)
 
-    def record(self, stage_index: int, acquired: int, uploaded: int) -> StageMovement:
+    def record(
+        self,
+        stage_index: int,
+        acquired: int,
+        uploaded: int,
+        *,
+        downloaded_bytes: int = 0,
+    ) -> StageMovement:
         if uploaded > acquired:
             raise ValueError(
                 f"stage {stage_index}: uploaded {uploaded} exceeds acquired {acquired}"
             )
-        if acquired < 0 or uploaded < 0:
+        if acquired < 0 or uploaded < 0 or downloaded_bytes < 0:
             raise ValueError("counts must be >= 0")
         movement = StageMovement(
             stage_index=stage_index,
             acquired_images=acquired,
             uploaded_images=uploaded,
             image_bytes=self.image_bytes,
+            downloaded_bytes=downloaded_bytes,
+        )
+        self.stages.append(movement)
+        return movement
+
+    def record_download(self, stage_index: int, num_bytes: int) -> StageMovement:
+        """Account cloud->node traffic (model push-down) for a stage.
+
+        Merges into the stage's existing upload record when one exists, so
+        Table II's per-stage rows keep one entry per stage.
+        """
+        if num_bytes < 0:
+            raise ValueError("counts must be >= 0")
+        for i in range(len(self.stages) - 1, -1, -1):
+            entry = self.stages[i]
+            if entry.stage_index == stage_index:
+                merged = StageMovement(
+                    stage_index=entry.stage_index,
+                    acquired_images=entry.acquired_images,
+                    uploaded_images=entry.uploaded_images,
+                    image_bytes=entry.image_bytes,
+                    downloaded_bytes=entry.downloaded_bytes + num_bytes,
+                )
+                self.stages[i] = merged
+                return merged
+        movement = StageMovement(
+            stage_index=stage_index,
+            acquired_images=0,
+            uploaded_images=0,
+            image_bytes=self.image_bytes,
+            downloaded_bytes=num_bytes,
         )
         self.stages.append(movement)
         return movement
@@ -58,6 +105,15 @@ class DataMovementLedger:
     @property
     def total_uploaded_bytes(self) -> int:
         return sum(s.uploaded_bytes for s in self.stages)
+
+    @property
+    def total_downloaded_bytes(self) -> int:
+        return sum(s.downloaded_bytes for s in self.stages)
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """Uplink + downlink traffic across every recorded stage."""
+        return self.total_uploaded_bytes + self.total_downloaded_bytes
 
     @property
     def total_uploaded_images(self) -> int:

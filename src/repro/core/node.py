@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.costing import GPUSingleRunningCost
+from repro.comm.link import JPEG_IMAGE_BYTES
+from repro.core.costing import GPUSingleRunningCost, TaskCost
 from repro.data.datasets import Dataset
 from repro.data.stream import AcquisitionStage
 from repro.diagnosis.diagnoser import Diagnoser
@@ -37,12 +38,18 @@ class NodeReport:
     diagnosis_time_s: float
     node_energy_j: float
     upload_data: Dataset
+    image_bytes: int = JPEG_IMAGE_BYTES
 
     @property
     def flagged_fraction(self) -> float:
         if self.acquired_images == 0:
             return 0.0
         return self.flagged_images / self.acquired_images
+
+    @property
+    def upload_bytes(self) -> int:
+        """Bytes the upload set puts on the uplink."""
+        return len(self.upload_data) * self.image_bytes
 
 
 class InSituNode:
@@ -80,6 +87,7 @@ class InSituNode:
         diagnosis_batch: int = 32,
         num_patches: int = 9,
         costing=None,
+        image_bytes: int = JPEG_IMAGE_BYTES,
     ) -> None:
         self.inference_net = inference_net
         self.diagnoser = diagnoser
@@ -89,6 +97,7 @@ class InSituNode:
         self.inference_batch = inference_batch
         self.diagnosis_batch = diagnosis_batch
         self.num_patches = num_patches
+        self.image_bytes = image_bytes
         self.costing = (
             costing
             if costing is not None
@@ -124,7 +133,7 @@ class InSituNode:
         diagnosis = (
             self.costing.diagnosis_cost(len(data))
             if self.diagnoser is not None
-            else self.costing.diagnosis_cost(0)
+            else TaskCost(0.0, 0.0)
         )
         return NodeReport(
             stage_index=stage.index,
@@ -135,4 +144,5 @@ class InSituNode:
             diagnosis_time_s=diagnosis.seconds,
             node_energy_j=inference.joules + diagnosis.joules,
             upload_data=upload,
+            image_bytes=self.image_bytes,
         )

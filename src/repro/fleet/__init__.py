@@ -1,0 +1,43 @@
+"""Fleet-scale simulation: N heterogeneous nodes sharing one Cloud."""
+
+from repro.fleet.profiles import LOW_POWER_TX1, FleetScenario, NodeProfile
+from repro.fleet.scheduler import (
+    DeployEvent,
+    FleetScheduler,
+    PendingUpload,
+    RolloutResult,
+)
+from repro.fleet.simulation import (
+    FleetAssets,
+    FleetReport,
+    FleetStageRecord,
+    NodeStageRecord,
+    NodeTrajectory,
+    fleet_base_scenario,
+    prepare_fleet_assets,
+    run_fleet,
+    run_fleet_all_systems,
+)
+from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
+
+__all__ = [
+    "DeployEvent",
+    "FleetAssets",
+    "FleetReport",
+    "FleetScenario",
+    "FleetScheduler",
+    "FleetStageRecord",
+    "LOW_POWER_TX1",
+    "NodeProfile",
+    "NodeStageRecord",
+    "NodeTrajectory",
+    "PendingUpload",
+    "RolloutResult",
+    "SharedUplink",
+    "Transfer",
+    "fleet_base_scenario",
+    "model_state_bytes",
+    "prepare_fleet_assets",
+    "run_fleet",
+    "run_fleet_all_systems",
+]

@@ -1,0 +1,559 @@
+"""End-to-end fleet simulation: N heterogeneous nodes, one Cloud.
+
+This is ``core.simulation`` lifted to deployment scale.  The single-node
+run answers "what does each Fig. 24 policy cost *per node*?"; the fleet
+run answers the question production actually asks: what happens when N
+nodes with different environments, boards, and radios share one backhaul
+and one Cloud-side training budget?
+
+The protocol per stage:
+
+1. every node processes its own acquisition stage (inference + diagnosis,
+   on its own device) against the currently deployed model version;
+2. uploads contend for the shared backhaul (max-min fair, virtual time);
+3. the Cloud pools uploads and the :class:`~repro.fleet.scheduler
+   .FleetScheduler` decides whether to retrain, canary, and roll out —
+   model push-downs travel (and are charged) over the same backhaul.
+
+All four system variants run on identical per-node data and identical
+initial weights, so fleet-level differences are pure policy — the same
+discipline ``core.simulation.run_all_systems`` applies per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.link import JPEG_IMAGE_BYTES
+from repro.comm.movement import DataMovementLedger
+from repro.core.cloud import InSituCloud
+from repro.core.costing import GPUSingleRunningCost
+from repro.core.node import InSituNode
+from repro.core.registry import ModelRegistry, UpdateGuard
+from repro.core.simulation import Scenario
+from repro.core.systems import SYSTEMS, SystemConfig
+from repro.data.datasets import Dataset, make_dataset
+from repro.data.drift import DriftModel
+from repro.data.images import ImageGenerator
+from repro.data.stream import AcquisitionStage, IoTStream
+from repro.diagnosis.diagnoser import (
+    InferenceConfidenceDiagnoser,
+    JigsawDiagnoser,
+    OracleDiagnoser,
+)
+from repro.fleet.profiles import FleetScenario, NodeProfile
+from repro.fleet.scheduler import FleetScheduler, RolloutResult
+from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
+from repro.models.layer_specs import alexnet_spec, diagnosis_spec
+from repro.models.iot_models import build_classifier
+from repro.selfsup.jigsaw import JigsawSampler
+from repro.selfsup.permutations import PermutationSet
+from repro.transfer.finetune import evaluate
+
+__all__ = [
+    "fleet_base_scenario",
+    "NodeStageRecord",
+    "NodeTrajectory",
+    "FleetStageRecord",
+    "FleetReport",
+    "FleetAssets",
+    "prepare_fleet_assets",
+    "run_fleet",
+    "run_fleet_all_systems",
+]
+
+
+def fleet_base_scenario(**overrides) -> Scenario:
+    """A per-node scenario small enough to multiply by a fleet.
+
+    The single-node default (``stream_scale=0.4``) is sized for one node;
+    at 16-64 nodes the *fleet* provides the data volume, so each node's
+    stream shrinks and the training knobs lighten accordingly.
+    """
+    defaults = dict(
+        num_classes=4,
+        stream_scale=0.05,
+        pretrain_images=160,
+        pretrain_epochs=2,
+        init_epochs=4,
+        update_epochs=2,
+        eval_images=96,
+        diagnoser_kind="oracle",
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+@dataclass(frozen=True)
+class NodeStageRecord:
+    """One node's view of one stage (deterministic fields only)."""
+
+    stage_index: int
+    node_id: int
+    acquired: int
+    uploaded: int
+    accuracy_on_new: float
+    upload_time_s: float  # under backhaul contention
+    upload_solo_time_s: float  # same bytes, uncontended backhaul
+    upload_energy_j: float
+    node_compute_time_s: float
+    node_compute_energy_j: float
+    download_bytes: int
+    download_energy_j: float
+
+
+@dataclass
+class NodeTrajectory:
+    """Everything one node experienced over the whole run."""
+
+    profile: NodeProfile
+    records: list[NodeStageRecord] = field(default_factory=list)
+    ledger: DataMovementLedger = field(
+        default_factory=lambda: DataMovementLedger(image_bytes=JPEG_IMAGE_BYTES)
+    )
+
+    @property
+    def total_upload_energy_j(self) -> float:
+        return sum(r.upload_energy_j for r in self.records)
+
+    @property
+    def accuracy_trajectory(self) -> list[float]:
+        return [r.accuracy_on_new for r in self.records]
+
+    @property
+    def contention_stretch(self) -> float:
+        """Total contended upload time over total uncontended time."""
+        solo = sum(r.upload_solo_time_s for r in self.records)
+        if solo == 0:
+            return 1.0
+        return sum(r.upload_time_s for r in self.records) / solo
+
+
+@dataclass(frozen=True)
+class FleetStageRecord:
+    """Aggregate bookkeeping for one stage across the fleet."""
+
+    stage_index: int
+    acquired: int
+    uploaded: int
+    pooled_for_training: int
+    updated: bool
+    promoted: bool
+    fleet_accuracy_on_new: float  # mean node accuracy on fresh data
+    eval_accuracy: float  # active model on the shared held-out set
+    modeled_update_time_s: float
+    modeled_cloud_energy_j: float
+    upload_makespan_s: float
+    download_bytes: int
+
+
+@dataclass
+class FleetReport:
+    """Full outcome of one system variant's fleet run."""
+
+    config: SystemConfig
+    scenario: FleetScenario
+    nodes: list[NodeTrajectory] = field(default_factory=list)
+    stages: list[FleetStageRecord] = field(default_factory=list)
+    rollouts: list[RolloutResult] = field(default_factory=list)
+    ledger: DataMovementLedger = field(
+        default_factory=lambda: DataMovementLedger(image_bytes=JPEG_IMAGE_BYTES)
+    )
+    registry: ModelRegistry = field(default_factory=ModelRegistry)
+
+    @property
+    def total_uploaded_bytes(self) -> int:
+        return self.ledger.total_uploaded_bytes
+
+    @property
+    def total_downloaded_bytes(self) -> int:
+        return self.ledger.total_downloaded_bytes
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return self.ledger.total_bytes_moved
+
+    @property
+    def total_update_time_s(self) -> float:
+        return sum(s.modeled_update_time_s for s in self.stages)
+
+    @property
+    def total_cloud_energy_j(self) -> float:
+        return sum(s.modeled_cloud_energy_j for s in self.stages)
+
+    @property
+    def total_transfer_energy_j(self) -> float:
+        return sum(
+            r.upload_energy_j + r.download_energy_j
+            for t in self.nodes
+            for r in t.records
+        )
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.stages[-1].eval_accuracy if self.stages else 0.0
+
+    @property
+    def data_reduction_vs_full(self) -> float:
+        return self.ledger.overall_reduction_vs_full()
+
+
+@dataclass
+class FleetAssets:
+    """Shared, pre-generated inputs every fleet system run consumes."""
+
+    scenario: FleetScenario
+    profiles: list[NodeProfile]
+    node_stages: list[list[AcquisitionStage]]  # [node][stage]
+    eval_data: Dataset
+    pretrain_data: Dataset
+    permset: PermutationSet
+    trunk_state: dict[str, np.ndarray]
+    initial_state: dict[str, np.ndarray]
+    canary_ids: tuple[int, ...]
+
+
+def _node_stream(
+    profile: NodeProfile, base: Scenario
+) -> list[AcquisitionStage]:
+    rng = np.random.default_rng(profile.seed)
+    generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
+    stream = IoTStream(
+        generator,
+        scale=base.stream_scale,
+        schedule_k=base.schedule_k,
+        severities=profile.severities,
+        rng=rng,
+    )
+    return stream.stages()
+
+
+def _build_cloud(scenario: FleetScenario, permset: PermutationSet) -> InSituCloud:
+    base = scenario.base
+    return InSituCloud(
+        base.num_classes,
+        permset,
+        cost_spec=alexnet_spec(),
+        shared_depth=base.shared_depth,
+        width=base.width,
+        hidden=base.hidden,
+        rng=np.random.default_rng(base.seed + 1),
+    )
+
+
+def prepare_fleet_assets(scenario: FleetScenario) -> FleetAssets:
+    """Generate per-node streams and the shared warm-start states.
+
+    Pre-training and the stage-0 initialization are policy-identical
+    across the four system variants, so they are computed once here —
+    every variant starts from literally the same weights.
+    """
+    base = scenario.base
+    profiles = scenario.profiles()
+    node_stages = [_node_stream(p, base) for p in profiles]
+    rng = np.random.default_rng(scenario.seed + 11)
+    eval_generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
+    eval_data = make_dataset(
+        base.eval_images,
+        generator=eval_generator,
+        drift=DriftModel(base.eval_severity, rng=rng),
+        rng=rng,
+    )
+    pretrain_data = (
+        Dataset.concat([stages[0].new_data for stages in node_stages])
+        .take(base.pretrain_images)
+        .as_unlabeled()
+    )
+    permset = PermutationSet.generate(base.num_perms, rng=rng)
+    seed_cloud = _build_cloud(scenario, permset)
+    seed_cloud.unsupervised_pretrain(
+        pretrain_data, epochs=base.pretrain_epochs, batch_size=base.batch_size
+    )
+    trunk_state = seed_cloud.context_net.state_dict()
+    stage0_pool = Dataset.concat([stages[0].new_data for stages in node_stages])
+    seed_cloud.initialize_inference(
+        stage0_pool,
+        epochs=base.init_epochs,
+        batch_size=base.batch_size,
+        lr=base.init_lr,
+    )
+    initial_state = seed_cloud.model_state()
+    canary_rng = np.random.default_rng(scenario.seed + 17)
+    num_canary = max(1, int(round(scenario.canary_fraction * scenario.num_nodes)))
+    canary_ids = tuple(
+        int(i)
+        for i in sorted(
+            canary_rng.choice(scenario.num_nodes, size=num_canary, replace=False)
+        )
+    )
+    return FleetAssets(
+        scenario=scenario,
+        profiles=profiles,
+        node_stages=node_stages,
+        eval_data=eval_data,
+        pretrain_data=pretrain_data,
+        permset=permset,
+        trunk_state=trunk_state,
+        initial_state=initial_state,
+        canary_ids=canary_ids,
+    )
+
+
+def _make_diagnoser(kind: str, net, cloud: InSituCloud, base: Scenario):
+    if kind == "oracle":
+        return OracleDiagnoser(net)
+    if kind == "confidence":
+        return InferenceConfidenceDiagnoser(
+            net, threshold=base.confidence_threshold
+        )
+    sampler = JigsawSampler(
+        cloud.permset, rng=np.random.default_rng(base.seed + 2)
+    )
+    return JigsawDiagnoser(
+        cloud.context_net,
+        sampler,
+        trials=2,
+        rng=np.random.default_rng(base.seed + 3),
+    )
+
+
+def run_fleet(
+    config: SystemConfig,
+    assets: FleetAssets,
+) -> FleetReport:
+    """Replay the whole fleet schedule for one system variant."""
+    scenario = assets.scenario
+    base = scenario.base
+    profiles = assets.profiles
+    uplink = SharedUplink(scenario.backhaul_bps)
+    inference_spec = alexnet_spec()
+    diag_spec = diagnosis_spec(inference_spec)
+
+    cloud = _build_cloud(scenario, assets.permset)
+    cloud.context_net.load_state_dict(assets.trunk_state)
+    cloud.inference_net.load_state_dict(assets.initial_state)
+
+    registry = ModelRegistry()
+    guard = UpdateGuard(
+        validation_data=assets.eval_data,
+        max_regression=scenario.max_regression,
+    )
+    scheduler = FleetScheduler(
+        cloud=cloud,
+        registry=registry,
+        guard=guard,
+        policy=scenario.scheduler_policy,
+        canary_ids=assets.canary_ids,
+        upload_threshold=scenario.upload_threshold,
+        accuracy_drop=scenario.accuracy_drop,
+    )
+
+    # One deployed network shared by every node: the fleet always runs the
+    # registry's active version, so per-node copies would hold identical
+    # weights while multiplying memory and load time by N.
+    deployed_net = build_classifier(
+        base.num_classes,
+        np.random.default_rng(base.seed + 5),
+        width=base.width,
+        hidden=base.hidden,
+    )
+    node_diagnoser = (
+        _make_diagnoser(base.diagnoser_kind, deployed_net, cloud, base)
+        if config.diagnosis_location == "node"
+        else None
+    )
+    cloud_diagnoser = (
+        _make_diagnoser(base.diagnoser_kind, cloud.inference_net, cloud, base)
+        if config.diagnosis_location == "cloud"
+        else None
+    )
+    nodes = [
+        InSituNode(
+            deployed_net,
+            node_diagnoser,
+            inference_spec=inference_spec,
+            diagnosis_spec=diag_spec,
+            gpu=profile.device,
+        )
+        for profile in profiles
+    ]
+
+    report = FleetReport(config=config, scenario=scenario, registry=registry)
+    report.nodes = [NodeTrajectory(profile=p) for p in profiles]
+    all_node_ids = tuple(p.node_id for p in profiles)
+    num_stages = len(assets.node_stages[0])
+
+    for s in range(num_stages):
+        is_initial = s == 0
+        deployed_net.load_state_dict(
+            registry.active.state if len(registry) else assets.initial_state
+        )
+        node_reports = [
+            nodes[i].process_stage(assets.node_stages[i][s])
+            for i in range(len(profiles))
+        ]
+        # Systems without node-side diagnosis ship the raw stage data, not
+        # the flagged subset; stage 0 is the initialization upload for all.
+        uploads: list[Dataset] = []
+        upload_counts: list[int] = []
+        for i, node_report in enumerate(node_reports):
+            if is_initial or config.uploads_everything:
+                uploads.append(assets.node_stages[i][s].new_data)
+                upload_counts.append(node_report.acquired_images)
+            else:
+                uploads.append(node_report.upload_data)
+                upload_counts.append(len(node_report.upload_data))
+
+        transfers = [
+            Transfer(
+                node_id=profiles[i].node_id,
+                link=profiles[i].link,
+                num_bytes=upload_counts[i] * JPEG_IMAGE_BYTES,
+            )
+            for i in range(len(profiles))
+        ]
+        upload_times, makespan = uplink.stage_upload_times(transfers)
+
+        fleet_accuracy = float(
+            np.mean([r.accuracy_before_update for r in node_reports])
+        )
+
+        # --- cloud side -----------------------------------------------
+        pooled_for_training = 0
+        updated = promoted = False
+        modeled_s = modeled_j = 0.0
+        push_bytes_per_node = {i: 0 for i in all_node_ids}
+        if is_initial:
+            pool = Dataset.concat(uploads)
+            cloud.archive = pool
+            modeled_s, modeled_j = cloud.modeled_update_cost(
+                len(pool), base.init_epochs, freeze_depth=0
+            )
+            pooled_for_training = len(pool)
+            updated = promoted = True
+            version_state = cloud.model_state()
+            registry.publish(
+                version_state, {"stage": 0, "images": len(pool), "epochs": base.init_epochs}
+            )
+            push = model_state_bytes(version_state)
+            for i in all_node_ids:
+                push_bytes_per_node[i] = push
+        else:
+            for i, upload in enumerate(uploads):
+                scheduler.offer(s, profiles[i].node_id, upload)
+            if scheduler.should_update(fleet_accuracy):
+                pool, pooled_count = scheduler.drain()
+                train_data = pool
+                if cloud_diagnoser is not None:
+                    # System b: the Cloud pays an inference scan over every
+                    # uploaded image to find the valuable subset.
+                    scan_s = (
+                        len(pool)
+                        * cloud.cost_spec.total_ops
+                        / cloud.cost_model.sustained_ops
+                    )
+                    modeled_s += scan_s
+                    modeled_j += cloud.cost_model.training_energy_j(scan_s)
+                    flags = cloud_diagnoser.flags(pool)
+                    train_data = pool.subset(np.flatnonzero(flags))
+                if len(train_data):
+                    canary_validation = Dataset.concat(
+                        [
+                            assets.node_stages[i][s].new_data
+                            for i in assets.canary_ids
+                        ]
+                    )
+                    rollout = scheduler.rollout(
+                        s,
+                        train_data,
+                        canary_validation,
+                        all_node_ids,
+                        weight_shared=config.weight_shared,
+                        epochs=base.update_epochs,
+                        batch_size=base.batch_size,
+                        lr=base.update_lr,
+                        pooled_images=pooled_count,
+                    )
+                    updated = True
+                    promoted = rollout.promoted
+                    pooled_for_training = len(train_data)
+                    modeled_s += rollout.report.modeled_time_s
+                    modeled_j += rollout.report.modeled_energy_j
+                    push = model_state_bytes(cloud.model_state())
+                    for event in rollout.events:
+                        push_bytes_per_node[event.node_id] += push
+
+        # --- downlink accounting --------------------------------------
+        push_energies = {
+            p.node_id: p.link.model_push_energy_j(push_bytes_per_node[p.node_id])
+            for p in profiles
+        }
+
+        # --- per-node records -----------------------------------------
+        stage_download_bytes = 0
+        for i, profile in enumerate(profiles):
+            node_report = node_reports[i]
+            down = push_bytes_per_node[profile.node_id]
+            stage_download_bytes += down
+            record = NodeStageRecord(
+                stage_index=s,
+                node_id=profile.node_id,
+                acquired=node_report.acquired_images,
+                uploaded=upload_counts[i],
+                accuracy_on_new=node_report.accuracy_before_update,
+                upload_time_s=upload_times[i],
+                upload_solo_time_s=uplink.solo_time(transfers[i]),
+                upload_energy_j=profile.link.image_upload_energy_j(
+                    upload_counts[i]
+                ),
+                node_compute_time_s=(
+                    node_report.inference_time_s + node_report.diagnosis_time_s
+                ),
+                node_compute_energy_j=node_report.node_energy_j,
+                download_bytes=down,
+                download_energy_j=push_energies[profile.node_id],
+            )
+            trajectory = report.nodes[i]
+            trajectory.records.append(record)
+            trajectory.ledger.record(
+                s, node_report.acquired_images, upload_counts[i]
+            )
+            if down:
+                trajectory.ledger.record_download(s, down)
+            report.ledger.record(
+                s, node_report.acquired_images, upload_counts[i]
+            )
+        if stage_download_bytes:
+            report.ledger.record_download(s, stage_download_bytes)
+
+        eval_accuracy = evaluate(cloud.inference_net, assets.eval_data)
+        report.stages.append(
+            FleetStageRecord(
+                stage_index=s,
+                acquired=sum(r.acquired_images for r in node_reports),
+                uploaded=sum(upload_counts),
+                pooled_for_training=pooled_for_training,
+                updated=updated,
+                promoted=promoted,
+                fleet_accuracy_on_new=fleet_accuracy,
+                eval_accuracy=eval_accuracy,
+                modeled_update_time_s=modeled_s,
+                modeled_cloud_energy_j=modeled_j,
+                upload_makespan_s=makespan,
+                download_bytes=stage_download_bytes,
+            )
+        )
+    report.rollouts = list(scheduler.history)
+    return report
+
+
+def run_fleet_all_systems(
+    scenario: FleetScenario,
+) -> dict[str, FleetReport]:
+    """Run every Fig. 24 variant over the same fleet, data, and weights."""
+    assets = prepare_fleet_assets(scenario)
+    return {
+        config.system_id: run_fleet(config, assets) for config in SYSTEMS
+    }

@@ -1,0 +1,139 @@
+"""Shared-uplink contention model for fleet simulation.
+
+``comm.link.NetworkLink`` models one node alone on its radio.  A fleet
+shares backhaul: when many nodes upload flagged data in the same stage the
+aggregate capacity is split between them, and every transfer stretches.
+:class:`SharedUplink` runs a fluid-flow simulation in virtual time —
+max-min fair rate allocation (each flow capped by its own access link),
+advanced completion-to-completion — which is exactly the steady-state
+behavior of per-flow fair queuing at the bottleneck.
+
+Energy stays per-byte at each node's radio (the existing
+:class:`~repro.comm.link.NetworkLink` model): contention stretches *time*,
+not bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.link import NetworkLink
+
+__all__ = ["Transfer", "SharedUplink", "model_state_bytes"]
+
+
+def model_state_bytes(state: dict[str, np.ndarray]) -> int:
+    """Wire size of a model state dict (raw parameter bytes)."""
+    return int(sum(v.nbytes for v in state.values()))
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One node's transfer demand through the shared link."""
+
+    node_id: int
+    link: NetworkLink
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+
+
+def _fair_rates(caps: list[float], capacity: float) -> list[float]:
+    """Max-min fair allocation of ``capacity`` across flows with rate caps.
+
+    Progressive filling: flows whose cap is below the equal share keep
+    their cap; the leftover is re-split among the rest.
+    """
+    rates = [0.0] * len(caps)
+    remaining = capacity
+    active = list(range(len(caps)))
+    while active:
+        share = remaining / len(active)
+        bottlenecked = [i for i in active if caps[i] <= share]
+        if not bottlenecked:
+            for i in active:
+                rates[i] = share
+            break
+        for i in bottlenecked:
+            rates[i] = caps[i]
+            remaining -= caps[i]
+        active = [i for i in active if caps[i] > share]
+    return rates
+
+
+class SharedUplink:
+    """Aggregate link capacity shared by concurrent transfers.
+
+    Parameters
+    ----------
+    capacity_bps:
+        Bottleneck bandwidth in bits/s, shared by every concurrent flow.
+        Individual flows are additionally capped by their own access
+        link's bandwidth.
+    """
+
+    def __init__(self, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bps = capacity_bps
+
+    def transfer_times(self, transfers: list[Transfer]) -> list[float]:
+        """Per-transfer completion times for concurrent flows.
+
+        All transfers start at virtual time zero; each flow's finish time
+        includes its own access-link latency.  Zero-byte transfers finish
+        instantly and consume no capacity.
+        """
+        remaining = [t.num_bytes * 8.0 for t in transfers]  # bits
+        done = [0.0] * len(transfers)
+        active = [i for i in range(len(transfers)) if remaining[i] > 0]
+        now = 0.0
+        while active:
+            caps = [transfers[i].link.bandwidth_bps for i in active]
+            rates = _fair_rates(caps, self.capacity_bps)
+            # Advance to the next flow completion at these rates.
+            dt = min(
+                remaining[i] / r for i, r in zip(active, rates) if r > 0
+            )
+            now += dt
+            still = []
+            for i, r in zip(active, rates):
+                remaining[i] -= r * dt
+                if remaining[i] <= 1e-9:
+                    done[i] = now + transfers[i].link.latency_s
+                else:
+                    still.append(i)
+            active = still
+        return done
+
+    def stage_upload_times(
+        self, transfers: list[Transfer]
+    ) -> tuple[list[float], float]:
+        """(per-node upload time, stage makespan) for one stage's uploads."""
+        times = self.transfer_times(transfers)
+        return times, max(times, default=0.0)
+
+    def solo_time(self, transfer: Transfer) -> float:
+        """Completion time if the transfer had the backhaul to itself."""
+        if transfer.num_bytes == 0:
+            return 0.0
+        rate = min(transfer.link.bandwidth_bps, self.capacity_bps)
+        return transfer.link.latency_s + transfer.num_bytes * 8.0 / rate
+
+    def push_times(
+        self, links: list[NetworkLink], model_bytes: int
+    ) -> list[float]:
+        """Concurrent model push-down to many nodes over the same backhaul.
+
+        The downlink shares the same bottleneck capacity (symmetric
+        backhaul), so a fleet-wide rollout is itself a contended event.
+        """
+        transfers = [
+            Transfer(node_id=i, link=link, num_bytes=model_bytes)
+            for i, link in enumerate(links)
+        ]
+        return self.transfer_times(transfers)

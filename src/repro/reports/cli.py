@@ -221,6 +221,80 @@ def _render_specs() -> str:
     return devices + "\n\n" + networks
 
 
+def _render_fleet(num_nodes: int, policy: str, seed: int) -> str:
+    """Beyond the paper: the four Fig. 24 variants at fleet scale."""
+    from repro.fleet import (
+        FleetScenario,
+        fleet_base_scenario,
+        run_fleet_all_systems,
+    )
+
+    scenario = FleetScenario(
+        base=fleet_base_scenario(),
+        num_nodes=num_nodes,
+        scheduler_policy=policy,
+        seed=seed,
+    )
+    results = run_fleet_all_systems(scenario)
+    mb = 1e6
+    aggregate = format_table(
+        f"Fleet ({num_nodes} nodes, policy={policy}) — aggregate movement "
+        "and Cloud update cost",
+        ["system", "up MB", "down MB", "total MB", "reduction",
+         "cloud s", "cloud kJ", "radio J", "final acc"],
+        [
+            [
+                sid,
+                f"{r.total_uploaded_bytes / mb:.0f}",
+                f"{r.total_downloaded_bytes / mb:.0f}",
+                f"{r.total_bytes_moved / mb:.0f}",
+                f"{r.data_reduction_vs_full:.0%}",
+                f"{r.total_update_time_s:.1f}",
+                f"{r.total_cloud_energy_j / 1e3:.2f}",
+                f"{r.total_transfer_energy_j:.1f}",
+                f"{r.final_accuracy:.0%}",
+            ]
+            for sid, r in results.items()
+        ],
+    )
+    rollouts = format_table(
+        "Canary rollouts (per variant)",
+        ["system", "updates", "promoted", "rejected", "canary nodes"],
+        [
+            [
+                sid,
+                len(r.rollouts),
+                sum(1 for ro in r.rollouts if ro.promoted),
+                sum(1 for ro in r.rollouts if not ro.promoted),
+                ",".join(
+                    str(i) for i in (r.rollouts[0].canary_ids if r.rollouts else ())
+                ),
+            ]
+            for sid, r in results.items()
+        ],
+    )
+    d = results["d"]
+    per_node = format_table(
+        "In-situ AI (d) — per-node trajectory",
+        ["node", "device", "link", "uploaded imgs", "up MB", "down MB",
+         "contention stretch", "mean acc on new"],
+        [
+            [
+                t.profile.node_id,
+                t.profile.device_kind,
+                t.profile.link_kind,
+                t.ledger.total_uploaded_images,
+                f"{t.ledger.total_uploaded_bytes / mb:.0f}",
+                f"{t.ledger.total_downloaded_bytes / mb:.0f}",
+                f"{t.contention_stretch:.2f}x",
+                f"{sum(t.accuracy_trajectory) / len(t.accuracy_trajectory):.0%}",
+            ]
+            for t in d.nodes
+        ],
+    )
+    return aggregate + "\n\n" + rollouts + "\n\n" + per_node
+
+
 _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "specs": _render_specs,
     "fig11": _render_fig11,
@@ -239,23 +313,59 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
-            "Regenerate the paper's analytical tables and figures. "
-            "Training-based experiments run via "
-            "'pytest benchmarks/ --benchmark-only'."
+            "Regenerate the paper's analytical tables and figures, or run "
+            "the beyond-the-paper fleet simulation ('fleet'). Training-based "
+            "paper experiments run via 'pytest benchmarks/ --benchmark-only'."
         ),
     )
     parser.add_argument(
         "experiments",
         nargs="*",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        default=["all"],
-        help="which experiments to run (default: all)",
+        metavar="experiment",
+        default=None,
+        help=(
+            "which experiments to run (default: all analytical tables; "
+            "'fleet' is the multi-node simulation and must be asked for "
+            "explicitly)"
+        ),
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=16,
+        help="fleet size for the 'fleet' experiment (default: 16)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("per-stage", "threshold", "accuracy-drop"),
+        default="per-stage",
+        help="cloud-side update scheduler policy for 'fleet'",
+    )
+    parser.add_argument(
+        "--fleet-seed",
+        type=int,
+        default=0,
+        help="fleet scenario seed for 'fleet'",
     )
     args = parser.parse_args(argv)
-    selected = args.experiments
+    # choices= with nargs="*" rejects the no-argument case on some
+    # CPython patch releases (gh-73484), so validation happens here.
+    valid = set(_EXPERIMENTS) | {"all", "fleet"}
+    selected = args.experiments or ["all"]
+    if args.nodes < 1:
+        parser.error("--nodes must be at least 1")
+    for name in selected:
+        if name not in valid:
+            parser.error(
+                f"invalid experiment {name!r} (choose from "
+                f"{', '.join(sorted(valid))})"
+            )
     if "all" in selected:
         selected = sorted(_EXPERIMENTS)
     for name in selected:
-        print(_EXPERIMENTS[name]())
+        if name == "fleet":
+            print(_render_fleet(args.nodes, args.policy, args.fleet_seed))
+        else:
+            print(_EXPERIMENTS[name]())
         print()
     return 0

@@ -1,0 +1,146 @@
+"""Fleet simulation tests: determinism, movement ordering, rollout paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import system_by_id
+from repro.fleet import (
+    FleetScenario,
+    fleet_base_scenario,
+    prepare_fleet_assets,
+    run_fleet,
+)
+
+
+def tiny_fleet(**overrides) -> FleetScenario:
+    base = fleet_base_scenario(
+        stream_scale=0.02,
+        pretrain_images=32,
+        pretrain_epochs=1,
+        init_epochs=2,
+        update_epochs=1,
+        eval_images=32,
+    )
+    kwargs = dict(base=base, num_nodes=2, seed=0)
+    kwargs.update(overrides)
+    return FleetScenario(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def assets():
+    return prepare_fleet_assets(tiny_fleet())
+
+
+@pytest.fixture(scope="module")
+def report_a(assets):
+    return run_fleet(system_by_id("a"), assets)
+
+
+@pytest.fixture(scope="module")
+def report_d(assets):
+    return run_fleet(system_by_id("d"), assets)
+
+
+class TestDeterminism:
+    def test_same_scenario_same_reports(self):
+        """Same FleetScenario seed => identical per-node reports and ledger."""
+        first = run_fleet(
+            system_by_id("d"), prepare_fleet_assets(tiny_fleet())
+        )
+        second = run_fleet(
+            system_by_id("d"), prepare_fleet_assets(tiny_fleet())
+        )
+        for t1, t2 in zip(first.nodes, second.nodes):
+            assert t1.profile == t2.profile
+            assert t1.records == t2.records
+            assert t1.ledger.stages == t2.ledger.stages
+        assert first.ledger.stages == second.ledger.stages
+        assert [s for s in first.stages] == [s for s in second.stages]
+
+    def test_different_seed_different_fleet(self):
+        a = prepare_fleet_assets(tiny_fleet(seed=0))
+        b = prepare_fleet_assets(tiny_fleet(seed=1))
+        assert a.profiles != b.profiles
+
+
+class TestMovement:
+    def test_stage0_uploads_everything(self, report_a, report_d):
+        for report in (report_a, report_d):
+            stage0 = report.stages[0]
+            assert stage0.uploaded == stage0.acquired
+
+    def test_diagnosis_moves_fewer_bytes(self, report_a, report_d):
+        assert (
+            report_d.total_uploaded_bytes < report_a.total_uploaded_bytes
+        )
+        assert report_d.total_bytes_moved < report_a.total_bytes_moved
+
+    def test_downlink_charged_to_every_node(self, report_d):
+        # Stage 0 publishes v1 and pushes it to the whole fleet.
+        for trajectory in report_d.nodes:
+            assert trajectory.records[0].download_bytes > 0
+        assert report_d.total_downloaded_bytes > 0
+
+    def test_ledger_totals_match_node_sum(self, report_d):
+        assert report_d.ledger.total_uploaded_images == sum(
+            t.ledger.total_uploaded_images for t in report_d.nodes
+        )
+        assert report_d.ledger.total_downloaded_bytes == sum(
+            t.ledger.total_downloaded_bytes for t in report_d.nodes
+        )
+
+    def test_contention_stretches_uploads(self, report_a):
+        for trajectory in report_a.nodes:
+            assert trajectory.contention_stretch >= 1.0
+
+
+class TestRollouts:
+    def test_registry_starts_at_v1(self, report_d):
+        assert report_d.registry.history()[0] == 1
+
+    def test_rollout_events_cover_fleet_on_promotion(self, report_d):
+        promoted = [r for r in report_d.rollouts if r.promoted]
+        for rollout in promoted:
+            touched = {e.node_id for e in rollout.events}
+            assert touched == {t.profile.node_id for t in report_d.nodes}
+
+    def test_rejected_rollouts_touch_canaries_only(self, report_d):
+        for rollout in report_d.rollouts:
+            if rollout.promoted:
+                continue
+            touched = {e.node_id for e in rollout.events}
+            assert touched == set(rollout.canary_ids)
+            kinds = {e.kind for e in rollout.events}
+            assert kinds == {"canary", "rollback"}
+
+    def test_cloud_cost_reported(self, report_d):
+        assert report_d.total_update_time_s > 0
+        assert report_d.total_cloud_energy_j > 0
+
+    def test_weight_sharing_cuts_cloud_time(self, assets):
+        report_c = run_fleet(system_by_id("c"), assets)
+        report_d = run_fleet(system_by_id("d"), assets)
+        # Identical uploads (same diagnoser, same data); d freezes the
+        # shared convs so its per-image Cloud cost must be lower whenever
+        # it trained at all.
+        if report_d.total_update_time_s > 0:
+            per_img_d = report_d.total_update_time_s / max(
+                1, sum(s.pooled_for_training for s in report_d.stages)
+            )
+            per_img_c = report_c.total_update_time_s / max(
+                1, sum(s.pooled_for_training for s in report_c.stages)
+            )
+            assert per_img_d < per_img_c
+
+
+class TestAccuracy:
+    def test_eval_trajectory_recorded(self, report_d):
+        assert len(report_d.stages) == 5
+        for stage in report_d.stages:
+            assert 0.0 <= stage.eval_accuracy <= 1.0
+            assert 0.0 <= stage.fleet_accuracy_on_new <= 1.0
+
+    def test_per_node_trajectories_full_length(self, report_d):
+        for trajectory in report_d.nodes:
+            assert len(trajectory.records) == 5

@@ -41,4 +41,5 @@ class TestAnalyticalExamples:
             "wildlife_monitoring.py",
             "surveillance_corunning.py",
             "design_space_exploration.py",
+            "fleet_rollout.py",
         } <= names
