@@ -13,13 +13,25 @@ from __future__ import annotations
 
 import pytest
 
-from repro.fleet import FleetScenario, fleet_base_scenario, run_fleet_all_systems
+from repro.core import system_by_id
+from repro.fleet import (
+    FleetScenario,
+    fleet_base_scenario,
+    lockstep_timeline,
+    prepare_fleet_assets,
+    run_fleet,
+    run_fleet_all_systems,
+    run_fleet_event,
+)
 
 FLEET_SIZES = (1, 4, 16, 64)
 
+#: virtual-time budget for the heterogeneous-horizon leg of the mode bench
+HORIZON_S = 10.0
 
-def _scenario(num_nodes: int) -> FleetScenario:
-    return FleetScenario(
+
+def _scenario(num_nodes: int, **overrides) -> FleetScenario:
+    kwargs = dict(
         base=fleet_base_scenario(
             stream_scale=0.02,
             pretrain_images=64,
@@ -31,6 +43,8 @@ def _scenario(num_nodes: int) -> FleetScenario:
         num_nodes=num_nodes,
         seed=0,
     )
+    kwargs.update(overrides)
+    return FleetScenario(**kwargs)
 
 
 def sweep():
@@ -83,3 +97,95 @@ def bench_fleet_scaling(benchmark, tables):
             by_id["a"].stages[-1].upload_makespan_s
             >= by_id["c"].stages[-1].upload_makespan_s
         )
+
+
+def sweep_modes():
+    """System d, lockstep vs event-driven, at every fleet size."""
+    out = {}
+    for n in FLEET_SIZES:
+        assets = prepare_fleet_assets(_scenario(n))
+        lockstep = run_fleet(system_by_id("d"), assets)
+        event = run_fleet_event(system_by_id("d"), assets)
+        out[n] = (assets, lockstep, event)
+    return out
+
+
+def run_horizon_leg():
+    """WiFi/LTE mix under a fixed virtual-time horizon (same boards)."""
+    assets = prepare_fleet_assets(
+        _scenario(4, lte_fraction=0.5, low_power_fraction=0.0)
+    )
+    lockstep = run_fleet(system_by_id("d"), assets)
+    event = run_fleet_event(system_by_id("d"), assets, horizon_s=HORIZON_S)
+    return assets, lockstep, event
+
+
+@pytest.mark.slow
+def bench_fleet_modes(benchmark, tables):
+    """Lockstep barrier vs event-driven asynchrony, system d.
+
+    The lockstep stage barrier makes every node wait for the slowest
+    upload and the Cloud retrain; the event-driven mode overlaps all of
+    it.  This bench reports the virtual-time makespan of both modes and
+    the fast-node stall the barrier induces, then reruns a WiFi/LTE mix
+    under a fixed horizon where asynchrony shows up as epoch-count
+    divergence — fast nodes simply get more work done.
+    """
+
+    def full():
+        return sweep_modes(), run_horizon_leg()
+
+    modes, horizon_leg = benchmark.pedantic(full, rounds=1, iterations=1)
+    rows = []
+    for n, (assets, lockstep, event) in modes.items():
+        timeline = lockstep_timeline(lockstep)
+        rows.append(
+            [
+                n,
+                f"{timeline.makespan_s:.1f}",
+                f"{event.makespan_s:.1f}",
+                f"{timeline.max_stall_s:.1f}",
+                f"{max(t.blocked_on_uplink_s for t in event.nodes):.1f}",
+            ]
+        )
+        num_stages = len(assets.node_stages[0])
+        # Same full schedule in both modes: every node completes exactly
+        # the stage count, barrier or not.
+        assert set(event.epochs_by_node.values()) == {num_stages}
+        assert all(len(t.records) == num_stages for t in lockstep.nodes)
+        if n > 1:
+            # The barrier stalls somebody at every fleet size above 1.
+            assert timeline.max_stall_s > 0.0
+    tables(
+        "Fleet modes (system d) — virtual-time makespan and barrier stall",
+        ["nodes", "lockstep s", "event s", "fast-node stall s",
+         "event uplink-blocked max s"],
+        rows,
+    )
+
+    assets, lockstep, event = horizon_leg
+    by_link: dict[str, list[int]] = {"wifi": [], "lte": []}
+    for profile in assets.profiles:
+        by_link[profile.link_kind].append(
+            event.epochs_by_node[profile.node_id]
+        )
+    tables(
+        f"Heterogeneous horizon ({HORIZON_S:.0f}s, system d) — epochs "
+        "completed per node",
+        ["node", "link", "event epochs", "lockstep epochs",
+         "blocked on uplink s"],
+        [
+            [
+                p.node_id,
+                p.link_kind,
+                event.epochs_by_node[p.node_id],
+                len(lockstep.nodes[p.node_id].records),
+                f"{event.nodes[p.node_id].blocked_on_uplink_s:.1f}",
+            ]
+            for p in assets.profiles
+        ],
+    )
+    # Event-driven: every WiFi node strictly outpaces every LTE node in
+    # the same virtual-time horizon; lockstep keeps all counts equal.
+    assert min(by_link["wifi"]) > max(by_link["lte"])
+    assert len({len(t.records) for t in lockstep.nodes}) == 1

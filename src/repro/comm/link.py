@@ -28,12 +28,25 @@ class NetworkLink:
     bandwidth_bps: float
     latency_s: float
     energy_per_byte_j: float
+    #: downlink rate when the radio is asymmetric; None means symmetric.
+    #: Consumer radios (LTE especially) usually download much faster than
+    #: they upload, so model pushes may ride a faster lane than uploads.
+    down_bandwidth_bps: float | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.down_bandwidth_bps is not None and self.down_bandwidth_bps <= 0:
+            raise ValueError("downlink bandwidth must be positive")
         if self.latency_s < 0 or self.energy_per_byte_j < 0:
             raise ValueError("latency and energy must be >= 0")
+
+    @property
+    def downlink_bps(self) -> float:
+        """Cloud->node rate: the asymmetric rate if set, else symmetric."""
+        if self.down_bandwidth_bps is not None:
+            return self.down_bandwidth_bps
+        return self.bandwidth_bps
 
     def transfer_time_s(self, num_bytes: int) -> float:
         """Seconds to push ``num_bytes`` upstream (one logical transfer)."""
@@ -63,11 +76,14 @@ class NetworkLink:
 
         Fig. 25-style comparisons that only count uploads silently ignore
         deployment traffic; every model push-down travels the same radio.
-        The link is modeled symmetric, so downlink time reuses the uplink
-        bandwidth — conservative for WiFi, about right for LTE uplink-
-        limited nodes.
+        Downlink rate is ``downlink_bps`` — the uplink bandwidth unless an
+        asymmetric ``down_bandwidth_bps`` is configured.
         """
-        return self.transfer_time_s(model_bytes)
+        if model_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if model_bytes == 0:
+            return 0.0
+        return self.latency_s + model_bytes * 8.0 / self.downlink_bps
 
     def model_push_energy_j(self, model_bytes: int) -> float:
         """Node-side radio energy to receive a pushed-down model."""

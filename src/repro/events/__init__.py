@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel shared by every virtual-time model.
+
+``repro.events`` is the one event engine in the repo: the hardware
+pipeline simulator (:mod:`repro.hw.eventsim`), the shared-backhaul flow
+model (:mod:`repro.fleet.uplink`), and the asynchronous fleet simulation
+(:mod:`repro.fleet.async_sim`) all schedule on the same kernel.
+"""
+
+from repro.events.flows import FlowLink, FlowRecord, max_min_rates
+from repro.events.kernel import Event, Process, Resource, Simulator, Store
+
+__all__ = [
+    "Event",
+    "FlowLink",
+    "FlowRecord",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "max_min_rates",
+]

@@ -1,5 +1,14 @@
 """Fleet-scale simulation: N heterogeneous nodes sharing one Cloud."""
 
+from repro.fleet.async_sim import (
+    CloudUpdateRecord,
+    EpochRecord,
+    FleetEventReport,
+    LockstepTimeline,
+    NodeEventTrajectory,
+    lockstep_timeline,
+    run_fleet_event,
+)
 from repro.fleet.profiles import LOW_POWER_TX1, FleetScenario, NodeProfile
 from repro.fleet.scheduler import (
     DeployEvent,
@@ -10,9 +19,11 @@ from repro.fleet.scheduler import (
 from repro.fleet.simulation import (
     FleetAssets,
     FleetReport,
+    FleetRuntime,
     FleetStageRecord,
     NodeStageRecord,
     NodeTrajectory,
+    build_fleet_runtime,
     fleet_base_scenario,
     prepare_fleet_assets,
     run_fleet,
@@ -21,13 +32,19 @@ from repro.fleet.simulation import (
 from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
 
 __all__ = [
+    "CloudUpdateRecord",
     "DeployEvent",
+    "EpochRecord",
     "FleetAssets",
+    "FleetEventReport",
     "FleetReport",
+    "FleetRuntime",
     "FleetScenario",
     "FleetScheduler",
     "FleetStageRecord",
     "LOW_POWER_TX1",
+    "LockstepTimeline",
+    "NodeEventTrajectory",
     "NodeProfile",
     "NodeStageRecord",
     "NodeTrajectory",
@@ -35,9 +52,12 @@ __all__ = [
     "RolloutResult",
     "SharedUplink",
     "Transfer",
+    "build_fleet_runtime",
     "fleet_base_scenario",
+    "lockstep_timeline",
     "model_state_bytes",
     "prepare_fleet_assets",
     "run_fleet",
+    "run_fleet_event",
     "run_fleet_all_systems",
 ]

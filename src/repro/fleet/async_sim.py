@@ -1,0 +1,654 @@
+"""Asynchronous, event-driven fleet simulation on the ``repro.events`` kernel.
+
+The lockstep :func:`~repro.fleet.simulation.run_fleet` advances all nodes
+in stages: every node waits at a barrier until the slowest upload lands
+and the Cloud finishes retraining.  The paper's system is not like that —
+each node flags and uploads on its own schedule while the Cloud retrains
+and pushes updates concurrently.  This module simulates exactly that in
+virtual time:
+
+* every node is a kernel **process** looping acquisition epochs (sense ->
+  infer/diagnose -> upload) at its own pace;
+* uploads are **dynamic flows** on the shared backhaul
+  (:class:`~repro.events.FlowLink`): flows join and leave mid-transfer and
+  the max-min fair rates are recomputed at every arrival/completion;
+* the Cloud is a process that pools arrivals, retrains in virtual time,
+  and pushes canary/fleet rollouts down the (symmetric) backhaul as flows
+  — all while fast nodes keep inferring and uploading.
+
+Two reference behaviors anchor the model:
+
+* ``barrier=True`` re-inserts the epoch barrier, reproducing the lockstep
+  trajectories on the event kernel (the regression tests compare the two);
+* ``horizon_s`` bounds the run in virtual time instead of epoch count:
+  nodes cycle their acquisition schedule until the horizon, so a WiFi
+  node completes strictly more epochs than an LTE neighbor — the
+  behavior the lockstep barrier structurally hides.
+
+Determinism: everything runs on the deterministic kernel and all
+randomness derives from the scenario seed, so a given (assets, config,
+mode) always produces the identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.link import JPEG_IMAGE_BYTES
+from repro.comm.movement import DataMovementLedger
+from repro.core.registry import ModelRegistry
+from repro.core.systems import SystemConfig
+from repro.data.datasets import Dataset
+from repro.events import Simulator, Store
+from repro.fleet.profiles import FleetScenario, NodeProfile
+from repro.fleet.scheduler import RolloutResult
+from repro.fleet.simulation import (
+    CloudStageOutcome,
+    FleetAssets,
+    FleetReport,
+    FleetRuntime,
+    build_fleet_runtime,
+    cloud_initialize,
+    cloud_try_update,
+)
+from repro.fleet.uplink import SharedUplink
+from repro.transfer.finetune import evaluate
+
+__all__ = [
+    "EpochRecord",
+    "NodeEventTrajectory",
+    "CloudUpdateRecord",
+    "FleetEventReport",
+    "LockstepTimeline",
+    "lockstep_timeline",
+    "run_fleet_event",
+]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One completed acquisition epoch at one node (event mode)."""
+
+    epoch: int
+    stage_index: int  # index into the node's pre-generated stage list
+    node_id: int
+    start_s: float
+    acquired: int
+    uploaded: int
+    accuracy_on_new: float
+    compute_time_s: float
+    upload_start_s: float
+    upload_done_s: float  # flow completion, access latency included
+    upload_bytes: int
+    upload_energy_j: float
+    node_compute_energy_j: float
+
+    @property
+    def upload_wait_s(self) -> float:
+        """Time the node sat blocked on the uplink for this epoch."""
+        return self.upload_done_s - self.upload_start_s
+
+
+@dataclass
+class NodeEventTrajectory:
+    """Everything one node experienced over an event-driven run."""
+
+    profile: NodeProfile
+    records: list[EpochRecord] = field(default_factory=list)
+    ledger: DataMovementLedger = field(
+        default_factory=lambda: DataMovementLedger(image_bytes=JPEG_IMAGE_BYTES)
+    )
+    download_bytes: int = 0
+    download_energy_j: float = 0.0
+    finish_s: float = 0.0
+
+    @property
+    def epochs_completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def blocked_on_uplink_s(self) -> float:
+        return sum(r.upload_wait_s for r in self.records)
+
+    @property
+    def accuracy_trajectory(self) -> list[float]:
+        return [r.accuracy_on_new for r in self.records]
+
+    @property
+    def total_upload_energy_j(self) -> float:
+        return sum(r.upload_energy_j for r in self.records)
+
+
+@dataclass(frozen=True)
+class CloudUpdateRecord:
+    """One Cloud-side update (initialization or guarded rollout)."""
+
+    kind: str  # "init" | "rollout"
+    trigger_s: float
+    complete_s: float
+    pooled_for_training: int
+    promoted: bool
+    modeled_time_s: float
+    modeled_energy_j: float
+    eval_accuracy: float
+
+
+@dataclass
+class FleetEventReport:
+    """Full outcome of one event-driven fleet run."""
+
+    config: SystemConfig
+    scenario: FleetScenario
+    mode: str  # "event" | "event-barrier"
+    horizon_s: float | None
+    nodes: list[NodeEventTrajectory] = field(default_factory=list)
+    updates: list[CloudUpdateRecord] = field(default_factory=list)
+    rollouts: list[RolloutResult] = field(default_factory=list)
+    registry: ModelRegistry = field(default_factory=ModelRegistry)
+    ledger: DataMovementLedger = field(
+        default_factory=lambda: DataMovementLedger(image_bytes=JPEG_IMAGE_BYTES)
+    )
+    makespan_s: float = 0.0
+    final_eval_accuracy: float = 0.0
+
+    @property
+    def total_uploaded_bytes(self) -> int:
+        return self.ledger.total_uploaded_bytes
+
+    @property
+    def total_downloaded_bytes(self) -> int:
+        return self.ledger.total_downloaded_bytes
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return self.ledger.total_bytes_moved
+
+    @property
+    def total_update_time_s(self) -> float:
+        return sum(u.modeled_time_s for u in self.updates)
+
+    @property
+    def total_cloud_energy_j(self) -> float:
+        return sum(u.modeled_energy_j for u in self.updates)
+
+    @property
+    def epochs_by_node(self) -> dict[int, int]:
+        return {t.profile.node_id: t.epochs_completed for t in self.nodes}
+
+
+class _Arrival:
+    """One node's upload, delivered to the Cloud when its flow completes."""
+
+    __slots__ = ("node_id", "epoch", "stage_index", "data", "accuracy")
+
+    def __init__(self, node_id, epoch, stage_index, data, accuracy):
+        self.node_id = node_id
+        self.epoch = epoch
+        self.stage_index = stage_index
+        self.data = data
+        self.accuracy = accuracy
+
+
+class _EventFleet:
+    """Shared state of one event-driven fleet run."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        assets: FleetAssets,
+        *,
+        horizon_s: float | None,
+        barrier: bool,
+        acquire_time_s: float,
+    ) -> None:
+        if horizon_s is not None and horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if acquire_time_s < 0:
+            raise ValueError("acquire_time_s must be >= 0")
+        self.assets = assets
+        self.scenario = assets.scenario
+        self.base = self.scenario.base
+        self.config = config
+        self.horizon_s = horizon_s
+        self.barrier = barrier
+        self.acquire_time_s = acquire_time_s
+        self.profiles = assets.profiles
+        self.all_node_ids = tuple(p.node_id for p in self.profiles)
+        self.index_of = {p.node_id: i for i, p in enumerate(self.profiles)}
+
+        self.sim = Simulator()
+        backhaul = SharedUplink(self.scenario.backhaul_bps)
+        self.uplink = backhaul.open(self.sim)
+        self.downlink = backhaul.open(self.sim, downlink=True)
+        self.arrivals = Store(self.sim)
+
+        self.runtime: FleetRuntime = build_fleet_runtime(config, assets)
+        self.report = FleetEventReport(
+            config=config,
+            scenario=self.scenario,
+            mode="event-barrier" if barrier else "event",
+            horizon_s=horizon_s,
+            registry=self.runtime.registry,
+        )
+        self.report.nodes = [NodeEventTrajectory(profile=p) for p in self.profiles]
+
+        # Per-node deployed model versions: nodes may transiently run
+        # different states (canaries, in-flight pushes) in event mode.
+        self.node_states = [assets.initial_state] * len(self.profiles)
+        self.last_accuracy: dict[int, float] = {}
+        self.last_data: dict[int, Dataset] = {
+            p.node_id: assets.node_stages[i][0].new_data
+            for i, p in enumerate(self.profiles)
+        }
+        self._round_events: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Node processes
+    # ------------------------------------------------------------------
+    def _node_proc(self, i: int):
+        profile = self.profiles[i]
+        stages = self.assets.node_stages[i]
+        trajectory = self.report.nodes[i]
+        epoch = 0
+        while True:
+            if not self.barrier:
+                # Barrier mode delegates continuation to the Cloud so all
+                # nodes stop on the same round.
+                if self.horizon_s is not None:
+                    if self.sim.now >= self.horizon_s:
+                        break
+                elif epoch >= len(stages):
+                    break
+            stage = stages[epoch % len(stages)]
+            start = self.sim.now
+            if self.acquire_time_s > 0:
+                # Sensing window: images trickle in before processing.
+                yield self.sim.timeout(len(stage.new_data) * self.acquire_time_s)
+            # Inference + diagnosis against the node's *current* version.
+            self.runtime.deployed_net.load_state_dict(self.node_states[i])
+            node_report = self.runtime.nodes[i].process_stage(stage)
+            compute_s = (
+                node_report.inference_time_s + node_report.diagnosis_time_s
+            )
+            yield self.sim.timeout(compute_s)
+            # Epoch 0 is the initialization upload for every system; after
+            # that, diagnosis-based systems ship only the flagged subset.
+            if epoch == 0 or self.config.uploads_everything:
+                upload_data = stage.new_data
+                count = node_report.acquired_images
+            else:
+                upload_data = node_report.upload_data
+                count = len(upload_data)
+            upload_start = self.sim.now
+            yield self.uplink.transfer(
+                count * JPEG_IMAGE_BYTES,
+                profile.link.bandwidth_bps,
+                latency_s=profile.link.latency_s,
+                tag=profile.node_id,
+            )
+            upload_done = self.sim.now
+            self.last_accuracy[profile.node_id] = (
+                node_report.accuracy_before_update
+            )
+            self.last_data[profile.node_id] = stage.new_data
+            self.arrivals.put(
+                _Arrival(
+                    profile.node_id,
+                    epoch,
+                    stage.index,
+                    upload_data,
+                    node_report.accuracy_before_update,
+                )
+            )
+            if self.barrier:
+                # An epoch only commits once the fleet-wide round closes:
+                # a horizon that freezes the fleet mid-round must not
+                # count the fast nodes' half-finished round.
+                keep_going = yield self._round_event(epoch)
+            trajectory.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    stage_index=stage.index,
+                    node_id=profile.node_id,
+                    start_s=start,
+                    acquired=node_report.acquired_images,
+                    uploaded=count,
+                    accuracy_on_new=node_report.accuracy_before_update,
+                    compute_time_s=compute_s,
+                    upload_start_s=upload_start,
+                    upload_done_s=upload_done,
+                    upload_bytes=count * JPEG_IMAGE_BYTES,
+                    upload_energy_j=profile.link.image_upload_energy_j(count),
+                    node_compute_energy_j=node_report.node_energy_j,
+                )
+            )
+            trajectory.ledger.record(
+                epoch, node_report.acquired_images, count
+            )
+            self.report.ledger.record(
+                epoch, node_report.acquired_images, count
+            )
+            if self.barrier and not keep_going:
+                break
+            epoch += 1
+        trajectory.finish_s = self.sim.now
+
+    def _round_event(self, round_index: int):
+        ev = self._round_events.get(round_index)
+        if ev is None:
+            ev = self.sim.event()
+            self._round_events[round_index] = ev
+        return ev
+
+    # ------------------------------------------------------------------
+    # Cloud processes
+    # ------------------------------------------------------------------
+    def _collect(self, count: int):
+        arrivals = []
+        for _ in range(count):
+            arrival = yield self.arrivals.get()
+            arrivals.append(arrival)
+        arrivals.sort(key=lambda a: a.node_id)
+        return arrivals
+
+    def _record_update(
+        self, kind: str, trigger_s: float, outcome: CloudStageOutcome
+    ) -> None:
+        self.report.updates.append(
+            CloudUpdateRecord(
+                kind=kind,
+                trigger_s=trigger_s,
+                complete_s=self.sim.now,
+                pooled_for_training=outcome.pooled_for_training,
+                promoted=outcome.promoted,
+                modeled_time_s=outcome.modeled_update_time_s,
+                modeled_energy_j=outcome.modeled_cloud_energy_j,
+                eval_accuracy=evaluate(
+                    self.runtime.cloud.inference_net, self.assets.eval_data
+                ),
+            )
+        )
+
+    def _cloud_async(self):
+        """Event-driven Cloud: pool arrivals, retrain, roll out — no barrier."""
+        # Initialization waits for every node's first (full) upload, then
+        # trains v1 and pushes it fleet-wide — the one synchronization
+        # point the paper's protocol itself requires.
+        arrivals = yield from self._collect(len(self.profiles))
+        trigger = self.sim.now
+        outcome = cloud_initialize(
+            0,
+            [a.data for a in arrivals],
+            runtime=self.runtime,
+            base=self.base,
+            all_node_ids=self.all_node_ids,
+        )
+        yield self.sim.timeout(outcome.modeled_update_time_s)
+        self._record_update("init", trigger, outcome)
+        yield from self._deliver_outcome(outcome, stage_hint=0)
+        while True:
+            arrival = yield self.arrivals.get()
+            # Drain the whole inbox: uploads landing at the same instant
+            # (or while the Cloud was busy) pool into one trigger check,
+            # so synchronized fleets retrain once per wave, not per node.
+            batch = [arrival]
+            while len(self.arrivals):
+                batch.append((yield self.arrivals.get()))
+            batch.sort(key=lambda a: a.node_id)
+            for a in batch:
+                self.runtime.scheduler.offer(a.epoch, a.node_id, a.data)
+            latest_epoch = max(a.epoch for a in batch)
+            # Keep firing while the policy still triggers: uploads that
+            # landed during a retrain are pooled and may trigger another.
+            while True:
+                fleet_accuracy = float(
+                    np.mean(list(self.last_accuracy.values()))
+                )
+                trigger = self.sim.now
+                outcome = cloud_try_update(
+                    latest_epoch,
+                    fleet_accuracy,
+                    lambda: Dataset.concat(
+                        [self.last_data[c] for c in self.assets.canary_ids]
+                    ),
+                    runtime=self.runtime,
+                    base=self.base,
+                    all_node_ids=self.all_node_ids,
+                )
+                if outcome.modeled_update_time_s > 0:
+                    yield self.sim.timeout(outcome.modeled_update_time_s)
+                if not outcome.updated:
+                    break
+                self._record_update("rollout", trigger, outcome)
+                yield from self._deliver_outcome(
+                    outcome, stage_hint=latest_epoch
+                )
+
+    def _cloud_barrier(self):
+        """Lockstep-reference Cloud: one pooled update per fleet-wide round."""
+        num_stages = len(self.assets.node_stages[0])
+        round_index = 0
+        while True:
+            arrivals = yield from self._collect(len(self.profiles))
+            trigger = self.sim.now
+            if round_index == 0:
+                outcome = cloud_initialize(
+                    0,
+                    [a.data for a in arrivals],
+                    runtime=self.runtime,
+                    base=self.base,
+                    all_node_ids=self.all_node_ids,
+                )
+            else:
+                stage_slot = round_index % num_stages
+                for a in arrivals:
+                    self.runtime.scheduler.offer(a.epoch, a.node_id, a.data)
+                fleet_accuracy = float(
+                    np.mean([a.accuracy for a in arrivals])
+                )
+                outcome = cloud_try_update(
+                    round_index,
+                    fleet_accuracy,
+                    lambda: Dataset.concat(
+                        [
+                            self.assets.node_stages[self.index_of[c]][
+                                stage_slot
+                            ].new_data
+                            for c in self.assets.canary_ids
+                        ]
+                    ),
+                    runtime=self.runtime,
+                    base=self.base,
+                    all_node_ids=self.all_node_ids,
+                )
+            if outcome.modeled_update_time_s > 0:
+                yield self.sim.timeout(outcome.modeled_update_time_s)
+            if outcome.updated:
+                self._record_update(
+                    "init" if round_index == 0 else "rollout",
+                    trigger,
+                    outcome,
+                )
+            yield from self._deliver_outcome(outcome, stage_hint=round_index)
+            if self.horizon_s is not None:
+                keep_going = self.sim.now < self.horizon_s
+            else:
+                keep_going = round_index + 1 < num_stages
+            self._round_event(round_index).succeed(keep_going)
+            if not keep_going:
+                return
+            round_index += 1
+
+    # ------------------------------------------------------------------
+    # Model push-downs as flows
+    # ------------------------------------------------------------------
+    def _deliver_outcome(self, outcome: CloudStageOutcome, *, stage_hint: int):
+        """Push the outcome's model bytes down the backhaul as flows.
+
+        Canary pushes go first (that deployment is the point of a
+        canary); the fleet or rollback wave follows once every canary
+        flow lands.  Nodes switch to the delivered state only when their
+        own flow completes, so slow-link nodes run stale versions longer.
+        """
+        rollout = outcome.rollout
+        if rollout is None:
+            pushes = [
+                (node_id, num_bytes)
+                for node_id, num_bytes in outcome.push_bytes_per_node.items()
+                if num_bytes > 0
+            ]
+            yield from self._push_wave(pushes, stage_hint)
+            return
+        unit = outcome.push_unit_bytes
+        canaries = [
+            (e.node_id, unit) for e in rollout.events if e.kind == "canary"
+        ]
+        followers = [
+            (e.node_id, unit) for e in rollout.events if e.kind != "canary"
+        ]
+        yield from self._push_wave(canaries, stage_hint)
+        if followers:
+            yield from self._push_wave(followers, stage_hint)
+
+    def _push_wave(self, pushes, stage_hint: int):
+        # The registry's active version is what every push carries: the
+        # promoted candidate, or the restored version on a rollback.
+        state = self.runtime.registry.active.state
+        procs = [
+            self.sim.process(
+                self._push_proc(node_id, num_bytes, state, stage_hint)
+            )
+            for node_id, num_bytes in pushes
+        ]
+        for proc in procs:
+            yield proc
+
+    def _push_proc(self, node_id: int, num_bytes: int, state, stage_hint: int):
+        i = self.index_of[node_id]
+        profile = self.profiles[i]
+        yield self.downlink.transfer(
+            num_bytes,
+            profile.link.downlink_bps,
+            latency_s=profile.link.latency_s,
+            tag=node_id,
+        )
+        self.node_states[i] = state
+        trajectory = self.report.nodes[i]
+        trajectory.download_bytes += num_bytes
+        trajectory.download_energy_j += profile.link.model_push_energy_j(
+            num_bytes
+        )
+        trajectory.ledger.record_download(stage_hint, num_bytes)
+        self.report.ledger.record_download(stage_hint, num_bytes)
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetEventReport:
+        for i in range(len(self.profiles)):
+            self.sim.process(self._node_proc(i))
+        self.sim.process(
+            self._cloud_barrier() if self.barrier else self._cloud_async()
+        )
+        self.report.makespan_s = self.sim.run(until=self.horizon_s)
+        self.report.rollouts = list(self.runtime.scheduler.history)
+        self.report.final_eval_accuracy = evaluate(
+            self.runtime.cloud.inference_net, self.assets.eval_data
+        )
+        return self.report
+
+
+def run_fleet_event(
+    config: SystemConfig,
+    assets: FleetAssets,
+    *,
+    horizon_s: float | None = None,
+    barrier: bool = False,
+    acquire_time_s: float = 0.0,
+) -> FleetEventReport:
+    """Run one system variant's fleet asynchronously in virtual time.
+
+    Parameters
+    ----------
+    config, assets:
+        Same inputs as :func:`~repro.fleet.simulation.run_fleet`, so the
+        two modes run on identical data and initial weights.
+    horizon_s:
+        Virtual-time budget.  When set, nodes cycle their acquisition
+        schedule until the horizon (fast nodes complete more epochs);
+        when ``None``, every node runs its schedule exactly once and the
+        run ends when the last event drains.
+    barrier:
+        Re-insert the fleet-wide epoch barrier.  This is the lockstep
+        reference mode: with it, the event-driven run reproduces
+        :func:`run_fleet`'s accuracy and byte trajectories.
+    acquire_time_s:
+        Virtual sensing time per acquired image, before processing.
+    """
+    engine = _EventFleet(
+        config,
+        assets,
+        horizon_s=horizon_s,
+        barrier=barrier,
+        acquire_time_s=acquire_time_s,
+    )
+    return engine.run()
+
+
+# ----------------------------------------------------------------------
+# Lockstep timeline reconstruction (for mode comparisons)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LockstepTimeline:
+    """Virtual-time account of a lockstep run, for mode comparisons."""
+
+    makespan_s: float
+    node_busy_s: dict[int, float]
+    node_stall_s: dict[int, float]  # time spent waiting at stage barriers
+
+    @property
+    def max_stall_s(self) -> float:
+        return max(self.node_stall_s.values(), default=0.0)
+
+
+def lockstep_timeline(report: FleetReport) -> LockstepTimeline:
+    """Reconstruct the barrier timeline a lockstep :class:`FleetReport` implies.
+
+    Each stage spans: slowest node compute, then the contended upload
+    makespan, then the Cloud's modeled update time, then the slowest
+    model push-down (solo downlink rate — the lockstep run does not model
+    downlink contention).  A node's *stall* is the part of each span it
+    spent idle at the barrier rather than computing, uploading, or
+    receiving its own push — exactly the time the event-driven mode
+    reclaims.
+    """
+    makespan = 0.0
+    busy = {t.profile.node_id: 0.0 for t in report.nodes}
+    stall = {t.profile.node_id: 0.0 for t in report.nodes}
+    for stage in report.stages:
+        s = stage.stage_index
+        records = {
+            t.profile.node_id: t.records[s]
+            for t in report.nodes
+        }
+        links = {t.profile.node_id: t.profile.link for t in report.nodes}
+        compute = {n: r.node_compute_time_s for n, r in records.items()}
+        upload = {n: r.upload_time_s for n, r in records.items()}
+        download = {
+            n: links[n].model_push_time_s(r.download_bytes)
+            for n, r in records.items()
+        }
+        span = (
+            max(compute.values())
+            + stage.upload_makespan_s
+            + stage.modeled_update_time_s
+            + max(download.values())
+        )
+        makespan += span
+        for n in records:
+            own = compute[n] + upload[n] + download[n]
+            busy[n] += own
+            stall[n] += span - own
+    return LockstepTimeline(
+        makespan_s=makespan, node_busy_s=busy, node_stall_s=stall
+    )

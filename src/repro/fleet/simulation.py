@@ -29,7 +29,6 @@ import numpy as np
 from repro.comm.link import JPEG_IMAGE_BYTES
 from repro.comm.movement import DataMovementLedger
 from repro.core.cloud import InSituCloud
-from repro.core.costing import GPUSingleRunningCost
 from repro.core.node import InSituNode
 from repro.core.registry import ModelRegistry, UpdateGuard
 from repro.core.simulation import Scenario
@@ -59,6 +58,11 @@ __all__ = [
     "FleetStageRecord",
     "FleetReport",
     "FleetAssets",
+    "FleetRuntime",
+    "CloudStageOutcome",
+    "build_fleet_runtime",
+    "cloud_initialize",
+    "cloud_try_update",
     "prepare_fleet_assets",
     "run_fleet",
     "run_fleet_all_systems",
@@ -319,15 +323,29 @@ def _make_diagnoser(kind: str, net, cloud: InSituCloud, base: Scenario):
     )
 
 
-def run_fleet(
-    config: SystemConfig,
-    assets: FleetAssets,
-) -> FleetReport:
-    """Replay the whole fleet schedule for one system variant."""
+@dataclass
+class FleetRuntime:
+    """Live simulation objects one fleet run operates on.
+
+    Shared by the lockstep :func:`run_fleet` and the event-driven
+    :func:`repro.fleet.async_sim.run_fleet_event`, so both modes exercise
+    literally the same Cloud, scheduler, and node machinery.
+    """
+
+    config: SystemConfig
+    cloud: InSituCloud
+    registry: ModelRegistry
+    scheduler: FleetScheduler
+    deployed_net: object  # shared node-side classifier (nn.Sequential)
+    nodes: list[InSituNode]
+    cloud_diagnoser: object | None
+
+
+def build_fleet_runtime(config: SystemConfig, assets: FleetAssets) -> FleetRuntime:
+    """Construct the Cloud, scheduler, and nodes for one system variant."""
     scenario = assets.scenario
     base = scenario.base
     profiles = assets.profiles
-    uplink = SharedUplink(scenario.backhaul_bps)
     inference_spec = alexnet_spec()
     diag_spec = diagnosis_spec(inference_spec)
 
@@ -350,9 +368,9 @@ def run_fleet(
         accuracy_drop=scenario.accuracy_drop,
     )
 
-    # One deployed network shared by every node: the fleet always runs the
-    # registry's active version, so per-node copies would hold identical
-    # weights while multiplying memory and load time by N.
+    # One deployed network shared by every node: loading a node's current
+    # version right before it runs keeps memory flat at fleet scale while
+    # still letting the event mode hold different versions per node.
     deployed_net = build_classifier(
         base.num_classes,
         np.random.default_rng(base.seed + 5),
@@ -379,6 +397,141 @@ def run_fleet(
         )
         for profile in profiles
     ]
+    return FleetRuntime(
+        config=config,
+        cloud=cloud,
+        registry=registry,
+        scheduler=scheduler,
+        deployed_net=deployed_net,
+        nodes=nodes,
+        cloud_diagnoser=cloud_diagnoser,
+    )
+
+
+@dataclass
+class CloudStageOutcome:
+    """What the Cloud did with one batch of pooled uploads."""
+
+    pooled_for_training: int = 0
+    updated: bool = False
+    promoted: bool = False
+    modeled_update_time_s: float = 0.0
+    modeled_cloud_energy_j: float = 0.0
+    push_bytes_per_node: dict[int, int] = field(default_factory=dict)
+    push_unit_bytes: int = 0  # wire size of one model push
+    rollout: RolloutResult | None = None
+
+
+def cloud_initialize(
+    stage_index: int,
+    uploads: list[Dataset],
+    *,
+    runtime: FleetRuntime,
+    base: Scenario,
+    all_node_ids: tuple[int, ...],
+) -> CloudStageOutcome:
+    """Stage-0 protocol: pool every node's raw data, train v1, push to all."""
+    cloud = runtime.cloud
+    pool = Dataset.concat(uploads)
+    cloud.archive = pool
+    modeled_s, modeled_j = cloud.modeled_update_cost(
+        len(pool), base.init_epochs, freeze_depth=0
+    )
+    version_state = cloud.model_state()
+    runtime.registry.publish(
+        version_state,
+        {"stage": stage_index, "images": len(pool), "epochs": base.init_epochs},
+    )
+    push = model_state_bytes(version_state)
+    return CloudStageOutcome(
+        pooled_for_training=len(pool),
+        updated=True,
+        promoted=True,
+        modeled_update_time_s=modeled_s,
+        modeled_cloud_energy_j=modeled_j,
+        push_bytes_per_node={i: push for i in all_node_ids},
+        push_unit_bytes=push,
+    )
+
+
+def cloud_try_update(
+    stage_index: int,
+    fleet_accuracy: float,
+    canary_validation,
+    *,
+    runtime: FleetRuntime,
+    base: Scenario,
+    all_node_ids: tuple[int, ...],
+) -> CloudStageOutcome:
+    """Fire the scheduler policy against the pooled uploads, if it triggers.
+
+    Uploads must already have been :meth:`FleetScheduler.offer`-ed.
+    ``canary_validation`` is a zero-arg callable so the canary set is only
+    materialized when a rollout actually happens.
+    """
+    cloud = runtime.cloud
+    scheduler = runtime.scheduler
+    outcome = CloudStageOutcome(
+        push_bytes_per_node={i: 0 for i in all_node_ids}
+    )
+    if not scheduler.should_update(fleet_accuracy):
+        return outcome
+    pool, pooled_count = scheduler.drain()
+    train_data = pool
+    if runtime.cloud_diagnoser is not None:
+        # System b: the Cloud pays an inference scan over every
+        # uploaded image to find the valuable subset.
+        scan_s = (
+            len(pool)
+            * cloud.cost_spec.total_ops
+            / cloud.cost_model.sustained_ops
+        )
+        outcome.modeled_update_time_s += scan_s
+        outcome.modeled_cloud_energy_j += cloud.cost_model.training_energy_j(
+            scan_s
+        )
+        flags = runtime.cloud_diagnoser.flags(pool)
+        train_data = pool.subset(np.flatnonzero(flags))
+    if len(train_data):
+        rollout = scheduler.rollout(
+            stage_index,
+            train_data,
+            canary_validation(),
+            all_node_ids,
+            weight_shared=runtime.config.weight_shared,
+            epochs=base.update_epochs,
+            batch_size=base.batch_size,
+            lr=base.update_lr,
+            pooled_images=pooled_count,
+        )
+        outcome.updated = True
+        outcome.promoted = rollout.promoted
+        outcome.pooled_for_training = len(train_data)
+        outcome.modeled_update_time_s += rollout.report.modeled_time_s
+        outcome.modeled_cloud_energy_j += rollout.report.modeled_energy_j
+        outcome.rollout = rollout
+        push = model_state_bytes(cloud.model_state())
+        outcome.push_unit_bytes = push
+        for event in rollout.events:
+            outcome.push_bytes_per_node[event.node_id] += push
+    return outcome
+
+
+def run_fleet(
+    config: SystemConfig,
+    assets: FleetAssets,
+) -> FleetReport:
+    """Replay the whole fleet schedule for one system variant."""
+    scenario = assets.scenario
+    base = scenario.base
+    profiles = assets.profiles
+    uplink = SharedUplink(scenario.backhaul_bps)
+
+    runtime = build_fleet_runtime(config, assets)
+    cloud = runtime.cloud
+    registry = runtime.registry
+    scheduler = runtime.scheduler
+    deployed_net = runtime.deployed_net
 
     report = FleetReport(config=config, scenario=scenario, registry=registry)
     report.nodes = [NodeTrajectory(profile=p) for p in profiles]
@@ -391,7 +544,7 @@ def run_fleet(
             registry.active.state if len(registry) else assets.initial_state
         )
         node_reports = [
-            nodes[i].process_stage(assets.node_stages[i][s])
+            runtime.nodes[i].process_stage(assets.node_stages[i][s])
             for i in range(len(profiles))
         ]
         # Systems without node-side diagnosis ship the raw stage data, not
@@ -421,69 +574,31 @@ def run_fleet(
         )
 
         # --- cloud side -----------------------------------------------
-        pooled_for_training = 0
-        updated = promoted = False
-        modeled_s = modeled_j = 0.0
-        push_bytes_per_node = {i: 0 for i in all_node_ids}
         if is_initial:
-            pool = Dataset.concat(uploads)
-            cloud.archive = pool
-            modeled_s, modeled_j = cloud.modeled_update_cost(
-                len(pool), base.init_epochs, freeze_depth=0
+            outcome = cloud_initialize(
+                s,
+                uploads,
+                runtime=runtime,
+                base=base,
+                all_node_ids=all_node_ids,
             )
-            pooled_for_training = len(pool)
-            updated = promoted = True
-            version_state = cloud.model_state()
-            registry.publish(
-                version_state, {"stage": 0, "images": len(pool), "epochs": base.init_epochs}
-            )
-            push = model_state_bytes(version_state)
-            for i in all_node_ids:
-                push_bytes_per_node[i] = push
         else:
             for i, upload in enumerate(uploads):
                 scheduler.offer(s, profiles[i].node_id, upload)
-            if scheduler.should_update(fleet_accuracy):
-                pool, pooled_count = scheduler.drain()
-                train_data = pool
-                if cloud_diagnoser is not None:
-                    # System b: the Cloud pays an inference scan over every
-                    # uploaded image to find the valuable subset.
-                    scan_s = (
-                        len(pool)
-                        * cloud.cost_spec.total_ops
-                        / cloud.cost_model.sustained_ops
-                    )
-                    modeled_s += scan_s
-                    modeled_j += cloud.cost_model.training_energy_j(scan_s)
-                    flags = cloud_diagnoser.flags(pool)
-                    train_data = pool.subset(np.flatnonzero(flags))
-                if len(train_data):
-                    canary_validation = Dataset.concat(
-                        [
-                            assets.node_stages[i][s].new_data
-                            for i in assets.canary_ids
-                        ]
-                    )
-                    rollout = scheduler.rollout(
-                        s,
-                        train_data,
-                        canary_validation,
-                        all_node_ids,
-                        weight_shared=config.weight_shared,
-                        epochs=base.update_epochs,
-                        batch_size=base.batch_size,
-                        lr=base.update_lr,
-                        pooled_images=pooled_count,
-                    )
-                    updated = True
-                    promoted = rollout.promoted
-                    pooled_for_training = len(train_data)
-                    modeled_s += rollout.report.modeled_time_s
-                    modeled_j += rollout.report.modeled_energy_j
-                    push = model_state_bytes(cloud.model_state())
-                    for event in rollout.events:
-                        push_bytes_per_node[event.node_id] += push
+            outcome = cloud_try_update(
+                s,
+                fleet_accuracy,
+                lambda: Dataset.concat(
+                    [
+                        assets.node_stages[i][s].new_data
+                        for i in assets.canary_ids
+                    ]
+                ),
+                runtime=runtime,
+                base=base,
+                all_node_ids=all_node_ids,
+            )
+        push_bytes_per_node = outcome.push_bytes_per_node
 
         # --- downlink accounting --------------------------------------
         push_energies = {
@@ -534,13 +649,13 @@ def run_fleet(
                 stage_index=s,
                 acquired=sum(r.acquired_images for r in node_reports),
                 uploaded=sum(upload_counts),
-                pooled_for_training=pooled_for_training,
-                updated=updated,
-                promoted=promoted,
+                pooled_for_training=outcome.pooled_for_training,
+                updated=outcome.updated,
+                promoted=outcome.promoted,
                 fleet_accuracy_on_new=fleet_accuracy,
                 eval_accuracy=eval_accuracy,
-                modeled_update_time_s=modeled_s,
-                modeled_cloud_energy_j=modeled_j,
+                modeled_update_time_s=outcome.modeled_update_time_s,
+                modeled_cloud_energy_j=outcome.modeled_cloud_energy_j,
                 upload_makespan_s=makespan,
                 download_bytes=stage_download_bytes,
             )

@@ -3,10 +3,18 @@
 ``comm.link.NetworkLink`` models one node alone on its radio.  A fleet
 shares backhaul: when many nodes upload flagged data in the same stage the
 aggregate capacity is split between them, and every transfer stretches.
-:class:`SharedUplink` runs a fluid-flow simulation in virtual time —
-max-min fair rate allocation (each flow capped by its own access link),
-advanced completion-to-completion — which is exactly the steady-state
-behavior of per-flow fair queuing at the bottleneck.
+
+Both views of that contention run on the same engine — the dynamic
+max-min fluid flows of :class:`repro.events.FlowLink`:
+
+* :meth:`SharedUplink.transfer_times` is the **lockstep** view: every
+  stage's transfers start at virtual time zero on a throwaway kernel and
+  the per-flow completion times come back as plain floats (the steady-
+  state behavior of per-flow fair queuing at the bottleneck).
+* :meth:`SharedUplink.open` is the **dynamic** view: it binds the same
+  capacity to a live simulator so flows join and leave mid-transfer as
+  the asynchronous fleet produces them, rates recomputed at every
+  arrival/completion event.
 
 Energy stays per-byte at each node's radio (the existing
 :class:`~repro.comm.link.NetworkLink` model): contention stretches *time*,
@@ -20,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm.link import NetworkLink
+from repro.events import FlowLink, Simulator
 
 __all__ = ["Transfer", "SharedUplink", "model_state_bytes"]
 
@@ -42,29 +51,6 @@ class Transfer:
             raise ValueError("num_bytes must be >= 0")
 
 
-def _fair_rates(caps: list[float], capacity: float) -> list[float]:
-    """Max-min fair allocation of ``capacity`` across flows with rate caps.
-
-    Progressive filling: flows whose cap is below the equal share keep
-    their cap; the leftover is re-split among the rest.
-    """
-    rates = [0.0] * len(caps)
-    remaining = capacity
-    active = list(range(len(caps)))
-    while active:
-        share = remaining / len(active)
-        bottlenecked = [i for i in active if caps[i] <= share]
-        if not bottlenecked:
-            for i in active:
-                rates[i] = share
-            break
-        for i in bottlenecked:
-            rates[i] = caps[i]
-            remaining -= caps[i]
-        active = [i for i in active if caps[i] > share]
-    return rates
-
-
 class SharedUplink:
     """Aggregate link capacity shared by concurrent transfers.
 
@@ -81,34 +67,40 @@ class SharedUplink:
             raise ValueError("capacity must be positive")
         self.capacity_bps = capacity_bps
 
+    def open(self, sim: Simulator, *, downlink: bool = False) -> FlowLink:
+        """Bind a dynamic-flow view of this backhaul to an event kernel.
+
+        The asynchronous fleet opens one :class:`FlowLink` per direction
+        (the backhaul is modeled symmetric, each direction at full
+        capacity); per-flow caps come from each node's access link —
+        ``bandwidth_bps`` upstream, ``downlink_bps`` for model pushes.
+        """
+        del downlink  # directions are symmetric; kept for call-site clarity
+        return FlowLink(sim, self.capacity_bps)
+
     def transfer_times(self, transfers: list[Transfer]) -> list[float]:
         """Per-transfer completion times for concurrent flows.
 
         All transfers start at virtual time zero; each flow's finish time
         includes its own access-link latency.  Zero-byte transfers finish
-        instantly and consume no capacity.
+        instantly and consume no capacity.  An empty transfer list is a
+        legal no-op.
         """
-        remaining = [t.num_bytes * 8.0 for t in transfers]  # bits
-        done = [0.0] * len(transfers)
-        active = [i for i in range(len(transfers)) if remaining[i] > 0]
-        now = 0.0
-        while active:
-            caps = [transfers[i].link.bandwidth_bps for i in active]
-            rates = _fair_rates(caps, self.capacity_bps)
-            # Advance to the next flow completion at these rates.
-            dt = min(
-                remaining[i] / r for i, r in zip(active, rates) if r > 0
+        if not transfers:
+            return []
+        sim = Simulator()
+        link = self.open(sim)
+        events = [
+            link.transfer(
+                t.num_bytes,
+                t.link.bandwidth_bps,
+                latency_s=t.link.latency_s,
+                tag=t.node_id,
             )
-            now += dt
-            still = []
-            for i, r in zip(active, rates):
-                remaining[i] -= r * dt
-                if remaining[i] <= 1e-9:
-                    done[i] = now + transfers[i].link.latency_s
-                else:
-                    still.append(i)
-            active = still
-        return done
+            for t in transfers
+        ]
+        sim.run()
+        return [ev.value.done_s for ev in events]
 
     def stage_upload_times(
         self, transfers: list[Transfer]

@@ -1,19 +1,22 @@
 """Discrete-event simulation of the WSS->NWS pipeline (Fig. 20).
 
 The closed-form pipeline model (Eq. 13) assumes perfectly overlapped
-stages.  This simulator executes the pipeline event by event — images
-arrive, the conv stage processes them one at a time, batches of ``Bsize``
-hand off to the FCN stage, stages run concurrently — and measures actual
-per-image latency and steady-state throughput.  It validates the analytical
-model the planner relies on (``tests/hw/test_eventsim.py`` asserts
-agreement) and exposes what the closed form hides: fill/drain transients
-and per-image latency spread within a batch.
+stages.  This simulator executes the pipeline on the shared
+:mod:`repro.events` kernel — images arrive, a conv-stage process serves
+them one at a time, batches of ``Bsize`` hand off through a
+:class:`~repro.events.Store` to a concurrent FCN-stage process — and
+measures actual per-image latency and steady-state throughput.  It
+validates the analytical model the planner relies on
+(``tests/hw/test_eventsim.py`` asserts agreement) and exposes what the
+closed form hides: fill/drain transients and per-image latency spread
+within a batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.events import Simulator, Store
 from repro.hw.pipeline import PipelineDesign, pipeline_timing
 from repro.hw.specs import FPGASpec
 from repro.models.layer_specs import NetworkSpec
@@ -107,27 +110,32 @@ def simulate_pipeline(
     fcn_per_batch = timing.fcn_stage_s
     batch = design.batch_size
 
-    conv_free_at = 0.0
-    fcn_free_at = 0.0
+    sim = Simulator()
+    handoff: Store = Store(sim)
     traces: list[ImageTrace] = []
-    pending: list[tuple[int, float, float, float]] = []  # current conv batch
-    makespan = 0.0
+    num_batches = (num_images + batch - 1) // batch
 
-    for index in range(num_images):
-        arrival = index * arrival_interval_s
-        conv_start = max(arrival, conv_free_at)
-        conv_done = conv_start + conv_per_image
-        conv_free_at = conv_done
-        pending.append((index, arrival, conv_start, conv_done))
+    def conv_stage():
+        pending: list[tuple[int, float, float, float]] = []
+        for index in range(num_images):
+            arrival = index * arrival_interval_s
+            if arrival > sim.now:
+                yield sim.timeout(arrival - sim.now)
+            conv_start = max(sim.now, arrival)
+            yield sim.timeout(conv_per_image)
+            pending.append((index, arrival, conv_start, sim.now))
+            if len(pending) == batch or index == num_images - 1:
+                # Whole batch hands off to the FCN stage together; the
+                # unbounded Store lets conv race ahead while FCN drains.
+                handoff.put(pending)
+                pending = []
 
-        last_in_batch = len(pending) == batch or index == num_images - 1
-        if last_in_batch:
-            # Whole batch hands off to the FCN stage together.
-            batch_ready = pending[-1][3]
-            fcn_start = max(batch_ready, fcn_free_at)
-            fcn_done = fcn_start + fcn_per_batch
-            fcn_free_at = fcn_done
-            for img_index, img_arrival, img_cstart, img_cdone in pending:
+    def fcn_stage():
+        for _ in range(num_batches):
+            batch_images = yield handoff.get()
+            yield sim.timeout(fcn_per_batch)
+            fcn_done = sim.now
+            for img_index, img_arrival, img_cstart, img_cdone in batch_images:
                 traces.append(
                     ImageTrace(
                         index=img_index,
@@ -137,8 +145,8 @@ def simulate_pipeline(
                         fcn_done_s=fcn_done,
                     )
                 )
-            makespan = fcn_done
-            pending = []
 
-    result = PipelineSimResult(traces=traces, makespan_s=makespan)
-    return result
+    sim.process(conv_stage())
+    sim.process(fcn_stage())
+    makespan = sim.run()
+    return PipelineSimResult(traces=traces, makespan_s=makespan)

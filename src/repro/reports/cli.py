@@ -295,6 +295,79 @@ def _render_fleet(num_nodes: int, policy: str, seed: int) -> str:
     return aggregate + "\n\n" + rollouts + "\n\n" + per_node
 
 
+def _render_fleet_event(
+    num_nodes: int, policy: str, seed: int, horizon: float | None
+) -> str:
+    """Event-driven fleet: asynchronous epochs, dynamic uplink flows."""
+    from repro.core.systems import SYSTEMS
+    from repro.fleet import (
+        FleetScenario,
+        fleet_base_scenario,
+        prepare_fleet_assets,
+        run_fleet_event,
+    )
+
+    scenario = FleetScenario(
+        base=fleet_base_scenario(),
+        num_nodes=num_nodes,
+        scheduler_policy=policy,
+        seed=seed,
+    )
+    assets = prepare_fleet_assets(scenario)
+    results = {
+        config.system_id: run_fleet_event(config, assets, horizon_s=horizon)
+        for config in SYSTEMS
+    }
+    mb = 1e6
+    horizon_label = (
+        f"horizon={horizon:g}s" if horizon is not None else "full schedule"
+    )
+    aggregate = format_table(
+        f"Event-driven fleet ({num_nodes} nodes, policy={policy}, "
+        f"{horizon_label}) — virtual time and movement",
+        ["system", "makespan s", "epochs min-max", "updates", "promoted",
+         "up MB", "down MB", "final acc"],
+        [
+            [
+                sid,
+                f"{r.makespan_s:.1f}",
+                f"{min(r.epochs_by_node.values())}-"
+                f"{max(r.epochs_by_node.values())}",
+                len(r.updates),
+                sum(1 for u in r.updates if u.promoted),
+                f"{r.total_uploaded_bytes / mb:.0f}",
+                f"{r.total_downloaded_bytes / mb:.0f}",
+                f"{r.final_eval_accuracy:.0%}",
+            ]
+            for sid, r in results.items()
+        ],
+    )
+    d = results["d"]
+    per_node = format_table(
+        "In-situ AI (d) — per-node event trajectory",
+        ["node", "device", "link", "epochs", "blocked on uplink s",
+         "up MB", "down MB", "mean acc on new"],
+        [
+            [
+                t.profile.node_id,
+                t.profile.device_kind,
+                t.profile.link_kind,
+                t.epochs_completed,
+                f"{t.blocked_on_uplink_s:.2f}",
+                f"{t.ledger.total_uploaded_bytes / mb:.0f}",
+                f"{t.ledger.total_downloaded_bytes / mb:.0f}",
+                (
+                    f"{sum(t.accuracy_trajectory) / len(t.accuracy_trajectory):.0%}"
+                    if t.records
+                    else "-"
+                ),
+            ]
+            for t in d.nodes
+        ],
+    )
+    return aggregate + "\n\n" + per_node
+
+
 _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "specs": _render_specs,
     "fig11": _render_fig11,
@@ -347,6 +420,24 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="fleet scenario seed for 'fleet'",
     )
+    parser.add_argument(
+        "--mode",
+        default="lockstep",
+        help=(
+            "fleet simulation mode: 'lockstep' (stage barrier, the "
+            "reference) or 'event' (asynchronous epochs on the "
+            "discrete-event kernel)"
+        ),
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help=(
+            "virtual-time budget in seconds for '--mode event': nodes "
+            "cycle their acquisition schedule until the horizon"
+        ),
+    )
     args = parser.parse_args(argv)
     # choices= with nargs="*" rejects the no-argument case on some
     # CPython patch releases (gh-73484), so validation happens here.
@@ -354,6 +445,17 @@ def main(argv: list[str] | None = None) -> int:
     selected = args.experiments or ["all"]
     if args.nodes < 1:
         parser.error("--nodes must be at least 1")
+    # --mode is validated manually for the same reason as experiment
+    # names: keep every argument failure on one consistent path.
+    if args.mode not in ("lockstep", "event"):
+        parser.error(
+            f"invalid mode {args.mode!r} (choose from event, lockstep)"
+        )
+    if args.horizon is not None:
+        if args.mode != "event":
+            parser.error("--horizon only applies to --mode event")
+        if args.horizon <= 0:
+            parser.error("--horizon must be positive")
     for name in selected:
         if name not in valid:
             parser.error(
@@ -364,7 +466,14 @@ def main(argv: list[str] | None = None) -> int:
         selected = sorted(_EXPERIMENTS)
     for name in selected:
         if name == "fleet":
-            print(_render_fleet(args.nodes, args.policy, args.fleet_seed))
+            if args.mode == "event":
+                print(
+                    _render_fleet_event(
+                        args.nodes, args.policy, args.fleet_seed, args.horizon
+                    )
+                )
+            else:
+                print(_render_fleet(args.nodes, args.policy, args.fleet_seed))
         else:
             print(_EXPERIMENTS[name]())
         print()

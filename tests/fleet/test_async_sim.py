@@ -1,0 +1,271 @@
+"""Event-driven fleet simulation: equivalence, asynchrony, determinism.
+
+Three anchors hold the asynchronous model to the lockstep reference:
+
+* barrier mode on the event kernel reproduces ``run_fleet``'s accuracy
+  and byte trajectories exactly (same assets, same seed);
+* async mode finishes the same schedule no later than barrier mode —
+  overlapping Cloud retraining with node compute only removes waiting;
+* under a heterogeneous WiFi/LTE mix and a fixed virtual-time horizon,
+  the fast node completes strictly more acquisition epochs than the slow
+  one, while the barrier modes keep every node's count equal — the
+  behavioral difference the event model exists to expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import system_by_id
+from repro.fleet import (
+    FleetScenario,
+    fleet_base_scenario,
+    lockstep_timeline,
+    prepare_fleet_assets,
+    run_fleet,
+    run_fleet_event,
+)
+
+
+def tiny_fleet(**overrides) -> FleetScenario:
+    base = fleet_base_scenario(
+        stream_scale=0.02,
+        pretrain_images=32,
+        pretrain_epochs=1,
+        init_epochs=2,
+        update_epochs=1,
+        eval_images=32,
+    )
+    kwargs = dict(base=base, num_nodes=2, seed=0)
+    kwargs.update(overrides)
+    return FleetScenario(**kwargs)
+
+
+def homogeneous_fleet(**overrides) -> FleetScenario:
+    """All-WiFi, all-TX1, no severity jitter: the equivalence regime."""
+    kwargs = dict(
+        lte_fraction=0.0, low_power_fraction=0.0, severity_jitter=0.0
+    )
+    kwargs.update(overrides)
+    return tiny_fleet(**kwargs)
+
+
+def mixed_link_fleet(**overrides) -> FleetScenario:
+    """One WiFi + one LTE node, same board, no retrains mid-horizon.
+
+    The threshold policy with an unreachable threshold isolates the link
+    heterogeneity: epoch pacing differs only through upload time.
+    """
+    kwargs = dict(
+        lte_fraction=0.5,
+        low_power_fraction=0.0,
+        severity_jitter=0.0,
+        scheduler_policy="threshold",
+        upload_threshold=10_000,
+    )
+    kwargs.update(overrides)
+    return tiny_fleet(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def homogeneous_assets():
+    return prepare_fleet_assets(homogeneous_fleet())
+
+
+@pytest.fixture(scope="module")
+def mixed_assets():
+    return prepare_fleet_assets(mixed_link_fleet())
+
+
+@pytest.fixture(scope="module")
+def lockstep_d(homogeneous_assets):
+    return run_fleet(system_by_id("d"), homogeneous_assets)
+
+
+@pytest.fixture(scope="module")
+def barrier_d(homogeneous_assets):
+    return run_fleet_event(
+        system_by_id("d"), homogeneous_assets, barrier=True
+    )
+
+
+@pytest.fixture(scope="module")
+def async_d(homogeneous_assets):
+    return run_fleet_event(system_by_id("d"), homogeneous_assets)
+
+
+class TestLockstepEquivalence:
+    """Homogeneous fleet, synchronized epochs: barrier mode == run_fleet."""
+
+    def test_accuracy_trajectories_match(self, lockstep_d, barrier_d):
+        for lock_node, event_node in zip(lockstep_d.nodes, barrier_d.nodes):
+            assert lock_node.profile == event_node.profile
+            assert np.allclose(
+                lock_node.accuracy_trajectory,
+                event_node.accuracy_trajectory,
+            )
+
+    def test_byte_trajectories_match(self, lockstep_d, barrier_d):
+        assert (
+            lockstep_d.total_uploaded_bytes == barrier_d.total_uploaded_bytes
+        )
+        assert (
+            lockstep_d.total_downloaded_bytes
+            == barrier_d.total_downloaded_bytes
+        )
+        for lock_node, event_node in zip(lockstep_d.nodes, barrier_d.nodes):
+            assert [r.uploaded for r in lock_node.records] == [
+                r.uploaded for r in event_node.records
+            ]
+            assert (
+                lock_node.ledger.total_downloaded_bytes
+                == event_node.ledger.total_downloaded_bytes
+            )
+
+    def test_same_updates_promoted(self, lockstep_d, barrier_d):
+        lock_updates = [
+            (s.updated, s.promoted) for s in lockstep_d.stages if s.updated
+        ]
+        event_updates = [(True, u.promoted) for u in barrier_d.updates]
+        assert lock_updates == event_updates
+        assert lockstep_d.registry.history() == barrier_d.registry.history()
+
+    def test_equivalence_holds_for_upload_everything_system(
+        self, homogeneous_assets
+    ):
+        lock = run_fleet(system_by_id("a"), homogeneous_assets)
+        event = run_fleet_event(
+            system_by_id("a"), homogeneous_assets, barrier=True
+        )
+        for lock_node, event_node in zip(lock.nodes, event.nodes):
+            assert np.allclose(
+                lock_node.accuracy_trajectory,
+                event_node.accuracy_trajectory,
+            )
+        assert lock.total_uploaded_bytes == event.total_uploaded_bytes
+
+
+class TestAsyncMode:
+    def test_async_completes_no_later_than_barrier(self, async_d, barrier_d):
+        # Removing the barrier only removes waiting: same epochs, same
+        # data, strictly less (or equal) virtual time.
+        assert async_d.makespan_s <= barrier_d.makespan_s
+        assert async_d.epochs_by_node == barrier_d.epochs_by_node
+
+    def test_updates_overlap_node_activity(self, async_d):
+        # Cloud updates happened and carried virtual training time.
+        assert async_d.updates
+        assert async_d.updates[0].kind == "init"
+        for update in async_d.updates:
+            assert update.complete_s >= update.trigger_s
+            assert update.modeled_time_s > 0
+
+    def test_epoch_records_are_internally_consistent(self, async_d):
+        for trajectory in async_d.nodes:
+            assert trajectory.epochs_completed == len(trajectory.records)
+            assert trajectory.blocked_on_uplink_s >= 0.0
+            previous_done = 0.0
+            for record in trajectory.records:
+                assert record.start_s >= previous_done or record.epoch == 0
+                assert (
+                    record.start_s
+                    <= record.upload_start_s
+                    <= record.upload_done_s
+                )
+                assert record.uploaded <= record.acquired
+                previous_done = record.upload_done_s
+
+    def test_every_node_initialized_with_v1(self, async_d):
+        # The init push reaches the whole fleet before any rollout.
+        for trajectory in async_d.nodes:
+            assert trajectory.download_bytes > 0
+            assert trajectory.download_energy_j > 0
+
+    def test_determinism(self, homogeneous_assets, async_d):
+        again = run_fleet_event(system_by_id("d"), homogeneous_assets)
+        assert again.makespan_s == async_d.makespan_s
+        for t1, t2 in zip(again.nodes, async_d.nodes):
+            assert t1.records == t2.records
+        assert [
+            (u.trigger_s, u.complete_s) for u in again.updates
+        ] == [(u.trigger_s, u.complete_s) for u in async_d.updates]
+
+
+class TestHeterogeneousHorizon:
+    """The acceptance scenario: WiFi outpaces LTE only without the barrier."""
+
+    HORIZON_S = 6.0
+
+    def test_fast_node_completes_strictly_more_epochs(self, mixed_assets):
+        report = run_fleet_event(
+            system_by_id("d"), mixed_assets, horizon_s=self.HORIZON_S
+        )
+        epochs = {
+            p.link_kind: report.epochs_by_node[p.node_id]
+            for p in mixed_assets.profiles
+        }
+        assert epochs["wifi"] > epochs["lte"]
+        assert report.makespan_s == self.HORIZON_S
+
+    def test_barrier_keeps_epoch_counts_equal(self, mixed_assets):
+        report = run_fleet_event(
+            system_by_id("d"),
+            mixed_assets,
+            horizon_s=self.HORIZON_S,
+            barrier=True,
+        )
+        counts = set(report.epochs_by_node.values())
+        assert len(counts) == 1
+
+    def test_lockstep_reference_has_equal_counts(self, mixed_assets):
+        report = run_fleet(system_by_id("d"), mixed_assets)
+        counts = {len(t.records) for t in report.nodes}
+        assert len(counts) == 1
+
+    def test_slow_node_blocks_longer_on_uplink(self, mixed_assets):
+        report = run_fleet_event(
+            system_by_id("d"), mixed_assets, horizon_s=self.HORIZON_S
+        )
+        blocked = {
+            p.link_kind: report.nodes[p.node_id].blocked_on_uplink_s
+            / max(1, report.nodes[p.node_id].epochs_completed)
+            for p in mixed_assets.profiles
+        }
+        assert blocked["lte"] > blocked["wifi"]
+
+
+class TestLockstepTimeline:
+    def test_stall_accounts_for_barrier_waits(self, lockstep_d):
+        timeline = lockstep_timeline(lockstep_d)
+        assert timeline.makespan_s > 0
+        # busy + stall == makespan per node, by construction
+        for node_id in timeline.node_busy_s:
+            assert timeline.node_stall_s[node_id] >= 0.0
+            assert timeline.node_busy_s[node_id] + timeline.node_stall_s[
+                node_id
+            ] == pytest.approx(timeline.makespan_s)
+
+    def test_mixed_fleet_slow_link_stalls_fast_node(self, mixed_assets):
+        report = run_fleet(system_by_id("d"), mixed_assets)
+        timeline = lockstep_timeline(report)
+        by_link = {
+            p.link_kind: timeline.node_stall_s[p.node_id]
+            for p in mixed_assets.profiles
+        }
+        # The WiFi node waits for the LTE node at every barrier.
+        assert by_link["wifi"] > by_link["lte"]
+
+
+class TestValidation:
+    def test_bad_horizon_rejected(self, homogeneous_assets):
+        with pytest.raises(ValueError):
+            run_fleet_event(
+                system_by_id("d"), homogeneous_assets, horizon_s=0.0
+            )
+
+    def test_negative_acquire_time_rejected(self, homogeneous_assets):
+        with pytest.raises(ValueError):
+            run_fleet_event(
+                system_by_id("d"), homogeneous_assets, acquire_time_s=-1.0
+            )

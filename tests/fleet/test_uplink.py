@@ -91,6 +91,48 @@ class TestFairRates:
             Transfer(0, WIFI, -1)
 
 
+class TestEdgeCases:
+    def test_empty_transfer_list_is_a_noop(self):
+        uplink = SharedUplink(20e6)
+        assert uplink.transfer_times([]) == []
+        times, makespan = uplink.stage_upload_times([])
+        assert times == []
+        assert makespan == 0.0
+
+    def test_all_zero_byte_transfers(self):
+        uplink = SharedUplink(20e6)
+        flows = [Transfer(i, WIFI, 0) for i in range(3)]
+        times, makespan = uplink.stage_upload_times(flows)
+        assert times == [0.0, 0.0, 0.0]
+        assert makespan == 0.0
+
+    def test_zero_byte_flow_consumes_no_capacity(self):
+        # A zero-byte flow must not dilute the fair share of real flows.
+        uplink = SharedUplink(20e6)
+        alone = uplink.transfer_times([Transfer(0, WIFI, mb(5))])
+        with_ghost = uplink.transfer_times(
+            [Transfer(0, WIFI, mb(5)), Transfer(1, WIFI, 0)]
+        )
+        assert with_ghost[0] == pytest.approx(alone[0])
+
+    def test_solo_time_zero_bytes(self):
+        uplink = SharedUplink(20e6)
+        assert uplink.solo_time(Transfer(0, WIFI, 0)) == 0.0
+
+    def test_push_times_zero_model_bytes(self):
+        uplink = SharedUplink(20e6)
+        assert uplink.push_times([WIFI, LTE], 0) == [0.0, 0.0]
+
+    def test_open_binds_capacity_to_a_simulator(self):
+        from repro.events import Simulator
+
+        uplink = SharedUplink(20e6)
+        sim = Simulator()
+        link = uplink.open(sim)
+        assert link.capacity_bps == 20e6
+        assert uplink.open(sim, downlink=True).capacity_bps == 20e6
+
+
 def test_model_state_bytes():
     state = {
         "w": np.zeros((4, 4), dtype=np.float32),

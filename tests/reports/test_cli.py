@@ -44,3 +44,29 @@ class TestCLI:
         for name in ("fig11", "fig12", "fig14", "fig15", "fig16", "fig22",
                      "engines"):
             assert name in _EXPERIMENTS
+
+
+class TestFleetModeFlag:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--mode", "warp-speed"])
+
+    def test_mode_validated_even_without_fleet_experiment(self):
+        # The flag is validated on the consistent manual path regardless
+        # of which experiments run.
+        with pytest.raises(SystemExit):
+            main(["fig15", "--mode", "warp-speed"])
+
+    def test_horizon_requires_event_mode(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--mode", "lockstep", "--horizon", "10"])
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--mode", "event", "--horizon", "0"])
+
+    def test_valid_modes_accepted_by_parser(self, capsys):
+        # A cheap experiment with a valid mode flag parses and runs.
+        assert main(["fig15", "--mode", "event", "--horizon", "5"]) == 0
+        assert main(["fig15", "--mode", "lockstep"]) == 0
+        capsys.readouterr()
