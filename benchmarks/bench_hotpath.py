@@ -1,0 +1,340 @@
+"""Hot-path benchmark: batched rendering, im2col convolution, dataset
+cache, and parallel fleet workers.
+
+Times every optimized stage against its pre-optimization reference (kept
+verbatim in :mod:`repro.data.reference` / :mod:`repro.nn.reference`) and
+writes the results to ``BENCH_hotpath.json``:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
+
+``--quick`` shrinks the workloads for CI smoke runs; ``--check BASELINE``
+compares the measured speedups against a committed baseline and exits
+non-zero if any stage regressed by more than 2x.  Speedups (not raw
+milliseconds) are compared so the gate survives runner hardware changes.
+
+Notes on expectations:
+
+* ``render_exact`` and ``drift_batch`` hold the historical RNG stream
+  bit-for-bit, which pins the per-image ziggurat noise draws and the
+  float64 op sequence — both are memory/`libm`-bound, so ~1x is the
+  ceiling; they are benchmarked to prove batching did not *regress* them.
+  ``render_throughput`` is the unconstrained float32 mode.
+* ``conv1_fwd_bwd`` (227x227, 11x11 stride 4) is im2col-bound and shows
+  the full rewrite win.  ``conv2_fwd_bwd`` (27x27, 5x5 stride 1) is
+  GEMM-bound — the three matmuls are identical in both paths and take
+  ~2/3 of the step — so its ceiling is ~1.2-1.4x by construction.
+* fleet worker scaling depends on core count; ``meta.cpu_count`` records
+  what the run had.  On a single core the spawn/pickle overhead makes
+  ``workers > 1`` strictly slower.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.systems import system_by_id
+from repro.data.cache import dataset_cache
+from repro.data.drift import DriftModel
+from repro.data.images import ImageGenerator
+from repro.data.reference import ReferenceImageGenerator, drift_batch_reference
+from repro.fleet.profiles import FleetScenario
+from repro.fleet.simulation import (
+    fleet_base_scenario,
+    prepare_fleet_assets,
+    run_fleet,
+)
+from repro.nn.conv import Conv2D
+from repro.nn.reference import col2im_reference, im2col_reference
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: a stage fails the --check gate when its speedup drops below
+#: baseline_speedup / REGRESSION_FACTOR
+REGRESSION_FACTOR = 2.0
+
+
+def _best_ms(fn, rounds: int) -> float:
+    fn()  # warmup: JIT-free but primes caches, buffer pools, imports
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+# ----------------------------------------------------------------------
+# Stage 1: batched rendering + drift
+# ----------------------------------------------------------------------
+def measure_render(quick: bool, rounds: int) -> dict:
+    count = 96 if quick else 256
+    labels = np.random.default_rng(2).integers(0, 10, size=count)
+    ref = ReferenceImageGenerator(48, 10, rng=np.random.default_rng(5))
+    gen = ImageGenerator(48, 10, rng=np.random.default_rng(5))
+
+    ref_ms = _best_ms(lambda: ref.batch(labels), rounds)
+    exact_ms = _best_ms(lambda: gen.batch(labels), rounds)
+    fast_ms = _best_ms(lambda: gen.batch(labels, exact_stream=False), rounds)
+    return {
+        "render_exact": {
+            "images": count,
+            "reference_ms": ref_ms,
+            "optimized_ms": exact_ms,
+            "speedup": ref_ms / exact_ms,
+        },
+        "render_throughput": {
+            "images": count,
+            "reference_ms": ref_ms,
+            "optimized_ms": fast_ms,
+            "speedup": ref_ms / fast_ms,
+        },
+    }
+
+
+def measure_drift(quick: bool, rounds: int) -> dict:
+    count = 64 if quick else 128
+    gen = ImageGenerator(48, 10, rng=np.random.default_rng(3))
+    images = gen.batch(np.random.default_rng(4).integers(0, 10, size=count))
+
+    def ref() -> None:
+        drift_batch_reference(
+            DriftModel(0.7, rng=np.random.default_rng(1)), images
+        )
+
+    def opt() -> None:
+        DriftModel(0.7, rng=np.random.default_rng(1)).apply_batch(images)
+
+    ref_ms = _best_ms(ref, rounds)
+    opt_ms = _best_ms(opt, rounds)
+    return {
+        "drift_batch": {
+            "images": count,
+            "reference_ms": ref_ms,
+            "optimized_ms": opt_ms,
+            "speedup": ref_ms / opt_ms,
+        }
+    }
+
+
+# ----------------------------------------------------------------------
+# Stage 2: convolution forward + backward at AlexNet shapes
+# ----------------------------------------------------------------------
+def _reference_conv_step(x, weight, bias, kernel, stride, pad, grad_out):
+    """Pre-optimization Conv2D fwd+bwd: reference im2col/col2im + GEMMs."""
+    out_channels = weight.shape[0]
+    cols = im2col_reference(x, kernel, stride, pad)
+    flat_w = weight.reshape(out_channels, -1)
+    out = cols @ flat_w.T + bias
+    rows = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+    grad_w = rows.T @ cols
+    grad_cols = rows @ flat_w
+    grad_in = col2im_reference(grad_cols, x.shape, kernel, stride, pad)
+    return out, grad_w, grad_in
+
+
+def measure_conv(quick: bool, rounds: int) -> dict:
+    batch = 2 if quick else 4
+    shapes = {
+        # AlexNet conv1: 227x227x3, 96 filters of 11x11 stride 4
+        "conv1_fwd_bwd": dict(cin=3, cout=96, size=227, kernel=11, stride=4, pad=0),
+        # AlexNet conv2 (dense form): 27x27x96, 256 filters of 5x5 pad 2
+        "conv2_fwd_bwd": dict(cin=96, cout=256, size=27, kernel=5, stride=1, pad=2),
+    }
+    results = {}
+    rng = np.random.default_rng(0)
+    for name, s in shapes.items():
+        layer = Conv2D(
+            s["cin"], s["cout"], s["kernel"], s["stride"], s["pad"],
+            rng=np.random.default_rng(1),
+        )
+        x = rng.standard_normal(
+            (batch, s["cin"], s["size"], s["size"])
+        ).astype(np.float32)
+        _, oh, ow = layer.output_shape(x.shape[1:])
+        grad_out = rng.standard_normal(
+            (batch, s["cout"], oh, ow)
+        ).astype(np.float32)
+        weight = layer.weight.data
+        bias = layer.bias.data
+
+        def opt() -> None:
+            layer.forward(x, training=True)
+            layer.backward(grad_out)
+            for p in layer.parameters:
+                p.zero_grad()
+
+        def ref() -> None:
+            _reference_conv_step(
+                x, weight, bias, s["kernel"], s["stride"], s["pad"], grad_out
+            )
+
+        ref_ms = _best_ms(ref, rounds)
+        opt_ms = _best_ms(opt, rounds)
+        results[name] = {
+            "batch": batch,
+            "shape": f"{s['cin']}x{s['size']}x{s['size']}"
+            f" k{s['kernel']} s{s['stride']} p{s['pad']} -> {s['cout']}",
+            "reference_ms": ref_ms,
+            "optimized_ms": opt_ms,
+            "speedup": ref_ms / opt_ms,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Stage 3: dataset cache
+# ----------------------------------------------------------------------
+def measure_dataset_cache(quick: bool) -> dict:
+    from repro.core.simulation import Scenario, prepare_assets
+
+    scenario = Scenario(
+        stream_scale=0.05, pretrain_images=32, eval_images=32, seed=12345
+    )
+    dataset_cache.clear()
+    t0 = time.perf_counter()
+    prepare_assets(scenario)
+    miss_ms = (time.perf_counter() - t0) * 1e3
+    t0 = time.perf_counter()
+    prepare_assets(scenario)
+    hit_ms = (time.perf_counter() - t0) * 1e3
+    dataset_cache.clear()
+    return {
+        "dataset_cache": {
+            "miss_ms": miss_ms,
+            "hit_ms": hit_ms,
+            "speedup": miss_ms / hit_ms,
+        }
+    }
+
+
+# ----------------------------------------------------------------------
+# Stage 4: fleet epoch, serial vs process pool
+# ----------------------------------------------------------------------
+def measure_fleet(quick: bool, workers: int) -> dict:
+    base = fleet_base_scenario(
+        stream_scale=0.02,
+        pretrain_images=32,
+        pretrain_epochs=1,
+        init_epochs=2,
+        update_epochs=1,
+        eval_images=32,
+    )
+    sizes = (4,) if quick else (4, 16)
+    results = {}
+    for n in sizes:
+        scenario = FleetScenario(base=base, num_nodes=n, seed=0)
+        assets = prepare_fleet_assets(scenario)
+        config = system_by_id("d")
+        t0 = time.perf_counter()
+        serial = run_fleet(config, assets, workers=1)
+        serial_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        parallel = run_fleet(config, assets, workers=workers)
+        parallel_ms = (time.perf_counter() - t0) * 1e3
+        identical = [s.eval_accuracy for s in serial.stages] == [
+            s.eval_accuracy for s in parallel.stages
+        ]
+        results[f"fleet_epoch_n{n}"] = {
+            "nodes": n,
+            "workers": workers,
+            "workers1_ms": serial_ms,
+            f"workers{workers}_ms": parallel_ms,
+            "speedup": serial_ms / parallel_ms,
+            "bit_identical": identical,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+def run_benchmarks(quick: bool, workers: int) -> dict:
+    rounds = 2 if quick else 3
+    stages: dict = {}
+    print("render...", flush=True)
+    stages.update(measure_render(quick, rounds))
+    print("drift...", flush=True)
+    stages.update(measure_drift(quick, rounds))
+    print("conv...", flush=True)
+    stages.update(measure_conv(quick, rounds))
+    print("dataset cache...", flush=True)
+    stages.update(measure_dataset_cache(quick))
+    print("fleet...", flush=True)
+    stages.update(measure_fleet(quick, workers))
+    return {
+        "meta": {
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "fleet_workers": workers,
+        },
+        "stages": stages,
+    }
+
+
+def check_regressions(result: dict, baseline: dict) -> list[str]:
+    """Stages whose speedup fell below baseline/REGRESSION_FACTOR."""
+    failures = []
+    base_stages = baseline.get("stages", {})
+    for name, stage in result["stages"].items():
+        base = base_stages.get(name)
+        if base is None or "speedup" not in base or "speedup" not in stage:
+            continue
+        floor = base["speedup"] / REGRESSION_FACTOR
+        if stage["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {stage['speedup']:.2f}x < floor "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads for CI smoke"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help=f"write results JSON here (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline JSON; exit 1 if any stage regressed > "
+        f"{REGRESSION_FACTOR}x in speedup",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the fleet stage (default: 4)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(args.quick, args.workers)
+    for name, stage in result["stages"].items():
+        speed = stage.get("speedup")
+        print(f"  {name:24s} {speed:6.2f}x  {stage}")
+
+    out = args.out if args.out is not None else DEFAULT_OUT
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_regressions(result, baseline)
+        if failures:
+            print("PERF REGRESSIONS:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("no perf regressions vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

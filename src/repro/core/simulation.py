@@ -23,6 +23,7 @@ from repro.comm.link import JPEG_IMAGE_BYTES, WIFI, NetworkLink
 from repro.comm.movement import DataMovementLedger
 from repro.core.cloud import InSituCloud
 from repro.core.systems import SYSTEMS, SystemConfig
+from repro.data.cache import dataset_cache
 from repro.data.datasets import Dataset, make_dataset
 from repro.data.drift import DriftModel
 from repro.data.images import ImageGenerator
@@ -33,6 +34,7 @@ from repro.diagnosis.diagnoser import (
     OracleDiagnoser,
 )
 from repro.models.layer_specs import NetworkSpec, alexnet_spec
+from repro.nn.config import default_dtype
 from repro.selfsup.jigsaw import JigsawSampler
 from repro.selfsup.permutations import PermutationSet
 from repro.transfer.finetune import evaluate
@@ -145,8 +147,37 @@ class SystemRunResult:
         return self.stages[-1].accuracy_after if self.stages else 0.0
 
 
-def prepare_assets(scenario: Scenario) -> ScenarioAssets:
-    """Generate the shared data and permutation set for a scenario."""
+def _data_cache_key(scenario: Scenario) -> tuple:
+    """Every scenario field :func:`_generate_scenario_data` reads.
+
+    Training hyperparameters (epochs, lrs, widths, diagnoser settings) are
+    deliberately absent: scenarios differing only in those share one cache
+    entry.  The framework default dtype is included because datasets cast
+    to it on construction.
+    """
+    return (
+        "core-assets",
+        scenario.seed,
+        scenario.image_size,
+        scenario.num_classes,
+        scenario.stream_scale,
+        scenario.schedule_k,
+        scenario.severities,
+        scenario.pretrain_images,
+        scenario.eval_images,
+        scenario.eval_severity,
+        scenario.num_perms,
+        np.dtype(default_dtype()).str,
+    )
+
+
+def _generate_scenario_data(scenario: Scenario) -> dict:
+    """The dataset-generation segment of :func:`prepare_assets`.
+
+    Self-contained: consumes only the RNG it builds from ``scenario.seed``.
+    The generator's end-of-segment stream position rides along in
+    ``rng_state`` so a cache hit restores it exactly.
+    """
     rng = np.random.default_rng(scenario.seed)
     generator = ImageGenerator(
         scenario.image_size, scenario.num_classes, rng=rng
@@ -169,13 +200,37 @@ def prepare_assets(scenario: Scenario) -> ScenarioAssets:
         rng=rng,
     )
     permset = PermutationSet.generate(scenario.num_perms, rng=rng)
+    return {
+        "stages": stages,
+        "pretrain_data": pretrain_data,
+        "eval_data": eval_data,
+        "permset": permset,
+        "rng_state": rng.bit_generator.state,
+    }
+
+
+def prepare_assets(scenario: Scenario) -> ScenarioAssets:
+    """Generate (or fetch from the seed-keyed cache) a scenario's data.
+
+    Cache hits are bit-identical to a fresh generation — including the
+    position of the returned generator's RNG stream — so downstream runs
+    cannot tell whether the data was regenerated or replayed.
+    """
+    data = dataset_cache.get_or_build(
+        _data_cache_key(scenario), lambda: _generate_scenario_data(scenario)
+    )
+    rng = np.random.default_rng(scenario.seed)
+    rng.bit_generator.state = data["rng_state"]
+    generator = ImageGenerator(
+        scenario.image_size, scenario.num_classes, rng=rng
+    )
     return ScenarioAssets(
         scenario=scenario,
         generator=generator,
-        stages=stages,
-        pretrain_data=pretrain_data.as_unlabeled(),
-        eval_data=eval_data,
-        permset=permset,
+        stages=data["stages"],
+        pretrain_data=data["pretrain_data"].as_unlabeled(),
+        eval_data=data["eval_data"],
+        permset=data["permset"],
         cost_spec=alexnet_spec(),
     )
 

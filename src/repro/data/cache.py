@@ -1,0 +1,79 @@
+"""Seed-keyed cache for procedurally generated datasets.
+
+:func:`repro.core.simulation.prepare_assets` and
+:func:`repro.fleet.simulation.prepare_fleet_assets` are pure functions of
+their scenario: every RNG they consume is constructed locally from scenario
+seeds.  Experiment sweeps (the four system variants over one scenario,
+fleet-size sweeps sharing node seeds, benchmark reruns) therefore regenerate
+literally identical stage streams and eval sets.  This module memoizes those
+generation segments on a process-wide LRU cache.
+
+Correctness rules for anything stored here:
+
+* the key must cover **every** input the builder reads — scenario fields,
+  seeds, and the framework default dtype (datasets cast to it on
+  construction);
+* the builder must consume only RNGs it creates itself; if a live generator
+  outlives the cached segment, its end-of-segment ``bit_generator.state``
+  belongs in the payload so a hit can restore the stream position;
+* hits return a deep copy of the payload, so downstream in-place mutation
+  can never corrupt the cache or couple two runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["DatasetCache", "dataset_cache"]
+
+
+class DatasetCache:
+    """Process-wide LRU memoization for dataset-generation segments."""
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], Any]
+    ) -> Any:
+        """Return a deep copy of the cached payload, building on a miss.
+
+        The builder runs outside the lock; if two threads race on the same
+        missing key the second build simply overwrites the first with an
+        identical payload.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return copy.deepcopy(self._entries[key])
+        value = builder()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return copy.deepcopy(value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: shared cache used by the core and fleet asset-preparation paths
+dataset_cache = DatasetCache()

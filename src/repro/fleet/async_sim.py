@@ -52,6 +52,7 @@ from repro.fleet.simulation import (
     build_fleet_runtime,
     cloud_initialize,
     cloud_try_update,
+    reseed_diagnoser,
 )
 from repro.fleet.uplink import SharedUplink
 from repro.transfer.finetune import evaluate
@@ -268,6 +269,12 @@ class _EventFleet:
                 yield self.sim.timeout(len(stage.new_data) * self.acquire_time_s)
             # Inference + diagnosis against the node's *current* version.
             self.runtime.deployed_net.load_state_dict(self.node_states[i])
+            reseed_diagnoser(
+                self.runtime.nodes[i].diagnoser,
+                self.base.seed,
+                profile.node_id,
+                stage.index,
+            )
             node_report = self.runtime.nodes[i].process_stage(stage)
             compute_s = (
                 node_report.inference_time_s + node_report.diagnosis_time_s

@@ -22,6 +22,8 @@ discipline ``core.simulation.run_all_systems`` applies per node.
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +35,7 @@ from repro.core.node import InSituNode
 from repro.core.registry import ModelRegistry, UpdateGuard
 from repro.core.simulation import Scenario
 from repro.core.systems import SYSTEMS, SystemConfig
+from repro.data.cache import dataset_cache
 from repro.data.datasets import Dataset, make_dataset
 from repro.data.drift import DriftModel
 from repro.data.images import ImageGenerator
@@ -43,6 +46,7 @@ from repro.diagnosis.diagnoser import (
     OracleDiagnoser,
 )
 from repro.fleet.profiles import FleetScenario, NodeProfile
+from repro.nn.config import default_dtype
 from repro.fleet.scheduler import FleetScheduler, RolloutResult
 from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
 from repro.models.layer_specs import alexnet_spec, diagnosis_spec
@@ -64,6 +68,7 @@ __all__ = [
     "cloud_initialize",
     "cloud_try_update",
     "prepare_fleet_assets",
+    "reseed_diagnoser",
     "run_fleet",
     "run_fleet_all_systems",
 ]
@@ -222,16 +227,36 @@ class FleetAssets:
 def _node_stream(
     profile: NodeProfile, base: Scenario
 ) -> list[AcquisitionStage]:
-    rng = np.random.default_rng(profile.seed)
-    generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
-    stream = IoTStream(
-        generator,
-        scale=base.stream_scale,
-        schedule_k=base.schedule_k,
-        severities=profile.severities,
-        rng=rng,
+    """One node's acquisition stages, memoized on the seed-keyed cache.
+
+    Keyed per node (not per fleet), so fleet-size sweeps reuse the streams
+    of every node profile they share.  The segment is self-contained: its
+    RNG and generator never escape, so no stream state needs restoring.
+    """
+    key = (
+        "fleet-node-stream",
+        profile.seed,
+        profile.severities,
+        base.image_size,
+        base.num_classes,
+        base.stream_scale,
+        base.schedule_k,
+        np.dtype(default_dtype()).str,
     )
-    return stream.stages()
+
+    def build() -> list[AcquisitionStage]:
+        rng = np.random.default_rng(profile.seed)
+        generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
+        stream = IoTStream(
+            generator,
+            scale=base.stream_scale,
+            schedule_k=base.schedule_k,
+            severities=profile.severities,
+            rng=rng,
+        )
+        return stream.stages()
+
+    return dataset_cache.get_or_build(key, build)
 
 
 def _build_cloud(scenario: FleetScenario, permset: PermutationSet) -> InSituCloud:
@@ -257,20 +282,42 @@ def prepare_fleet_assets(scenario: FleetScenario) -> FleetAssets:
     base = scenario.base
     profiles = scenario.profiles()
     node_stages = [_node_stream(p, base) for p in profiles]
-    rng = np.random.default_rng(scenario.seed + 11)
-    eval_generator = ImageGenerator(base.image_size, base.num_classes, rng=rng)
-    eval_data = make_dataset(
+    eval_key = (
+        "fleet-eval",
+        scenario.seed,
+        base.image_size,
+        base.num_classes,
         base.eval_images,
-        generator=eval_generator,
-        drift=DriftModel(base.eval_severity, rng=rng),
-        rng=rng,
+        base.eval_severity,
+        base.num_perms,
+        np.dtype(default_dtype()).str,
     )
+
+    def build_eval() -> dict:
+        # eval_data and permset consume one shared RNG stream, so they are
+        # cached as a bundle; nothing downstream reads that stream after
+        # the permutation set, so no end state needs to ride along.
+        rng = np.random.default_rng(scenario.seed + 11)
+        eval_generator = ImageGenerator(
+            base.image_size, base.num_classes, rng=rng
+        )
+        eval_data = make_dataset(
+            base.eval_images,
+            generator=eval_generator,
+            drift=DriftModel(base.eval_severity, rng=rng),
+            rng=rng,
+        )
+        permset = PermutationSet.generate(base.num_perms, rng=rng)
+        return {"eval_data": eval_data, "permset": permset}
+
+    eval_bundle = dataset_cache.get_or_build(eval_key, build_eval)
+    eval_data = eval_bundle["eval_data"]
+    permset = eval_bundle["permset"]
     pretrain_data = (
         Dataset.concat([stages[0].new_data for stages in node_stages])
         .take(base.pretrain_images)
         .as_unlabeled()
     )
-    permset = PermutationSet.generate(base.num_perms, rng=rng)
     seed_cloud = _build_cloud(scenario, permset)
     seed_cloud.unsupervised_pretrain(
         pretrain_data, epochs=base.pretrain_epochs, batch_size=base.batch_size
@@ -517,17 +564,116 @@ def cloud_try_update(
     return outcome
 
 
+def reseed_diagnoser(
+    diagnoser, base_seed: int, node_id: int, stage_index: int
+) -> None:
+    """Pin a diagnoser's randomness to ``(node, stage)``.
+
+    Stochastic diagnosers (jigsaw sampling) historically consumed one RNG
+    stream in whatever order nodes were processed, which couples results to
+    scheduling.  Reseeding per (node, stage) makes every node's diagnosis a
+    pure function of its identity — so the lockstep, event-driven, and
+    process-pool paths all see identical flags.  Deterministic diagnosers
+    carry no ``rng`` attributes and are left untouched.
+    """
+    if diagnoser is None:
+        return
+    has_rng = hasattr(diagnoser, "rng")
+    sampler = getattr(diagnoser, "sampler", None)
+    if not has_rng and sampler is None:
+        return
+    children = np.random.SeedSequence(
+        (base_seed, node_id, stage_index)
+    ).spawn(2)
+    if has_rng:
+        diagnoser.rng = np.random.default_rng(children[0])
+    if sampler is not None and hasattr(sampler, "rng"):
+        sampler.rng = np.random.default_rng(children[1])
+
+
+# Per-process state for fleet worker processes, set up once by
+# _fleet_worker_init and reused by every _fleet_worker_stage task.
+_WORKER_STATE: dict = {}
+
+
+def _fleet_worker_init(config: SystemConfig, assets: FleetAssets) -> None:
+    _WORKER_STATE["runtime"] = build_fleet_runtime(config, assets)
+    _WORKER_STATE["assets"] = assets
+
+
+def _fleet_worker_stage(
+    task: tuple[int, int, dict[str, np.ndarray]]
+) -> tuple[int, "NodeReport"]:
+    """Run one node's stage in a worker process.
+
+    The active model state rides along in the task so workers never hold
+    stale versions; diagnosis randomness is reseeded per (node, stage), so
+    the result is bit-identical to the serial path regardless of which
+    worker runs which task.
+    """
+    node_index, stage_index, active_state = task
+    runtime = _WORKER_STATE["runtime"]
+    assets = _WORKER_STATE["assets"]
+    runtime.deployed_net.load_state_dict(active_state)
+    node = runtime.nodes[node_index]
+    profile = assets.profiles[node_index]
+    reseed_diagnoser(
+        node.diagnoser,
+        assets.scenario.base.seed,
+        profile.node_id,
+        stage_index,
+    )
+    return node_index, node.process_stage(
+        assets.node_stages[node_index][stage_index]
+    )
+
+
 def run_fleet(
     config: SystemConfig,
     assets: FleetAssets,
+    *,
+    workers: int = 1,
 ) -> FleetReport:
-    """Replay the whole fleet schedule for one system variant."""
+    """Replay the whole fleet schedule for one system variant.
+
+    ``workers > 1`` runs the per-node inference/diagnosis epochs on a
+    spawn-based process pool.  Results are keyed by node index and merged
+    in fixed node order, and all diagnosis randomness is seeded per
+    (node, stage), so every worker count produces bit-identical reports.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    uplink = SharedUplink(assets.scenario.backhaul_bps)
+    runtime = build_fleet_runtime(config, assets)
+    executor = (
+        ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_fleet_worker_init,
+            initargs=(config, assets),
+        )
+        if workers > 1
+        else None
+    )
+    try:
+        return _run_fleet_schedule(
+            config, assets, runtime, uplink, executor
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+
+def _run_fleet_schedule(
+    config: SystemConfig,
+    assets: FleetAssets,
+    runtime: FleetRuntime,
+    uplink: SharedUplink,
+    executor: ProcessPoolExecutor | None,
+) -> FleetReport:
     scenario = assets.scenario
     base = scenario.base
     profiles = assets.profiles
-    uplink = SharedUplink(scenario.backhaul_bps)
-
-    runtime = build_fleet_runtime(config, assets)
     cloud = runtime.cloud
     registry = runtime.registry
     scheduler = runtime.scheduler
@@ -540,13 +686,29 @@ def run_fleet(
 
     for s in range(num_stages):
         is_initial = s == 0
-        deployed_net.load_state_dict(
+        active_state = (
             registry.active.state if len(registry) else assets.initial_state
         )
-        node_reports = [
-            runtime.nodes[i].process_stage(assets.node_stages[i][s])
-            for i in range(len(profiles))
-        ]
+        if executor is None:
+            deployed_net.load_state_dict(active_state)
+            node_reports = []
+            for i in range(len(profiles)):
+                reseed_diagnoser(
+                    runtime.nodes[i].diagnoser,
+                    base.seed,
+                    profiles[i].node_id,
+                    s,
+                )
+                node_reports.append(
+                    runtime.nodes[i].process_stage(assets.node_stages[i][s])
+                )
+        else:
+            futures = [
+                executor.submit(_fleet_worker_stage, (i, s, active_state))
+                for i in range(len(profiles))
+            ]
+            by_index = dict(f.result() for f in futures)
+            node_reports = [by_index[i] for i in range(len(profiles))]
         # Systems without node-side diagnosis ship the raw stage data, not
         # the flagged subset; stage 0 is the initialization upload for all.
         uploads: list[Dataset] = []
@@ -666,9 +828,12 @@ def run_fleet(
 
 def run_fleet_all_systems(
     scenario: FleetScenario,
+    *,
+    workers: int = 1,
 ) -> dict[str, FleetReport]:
     """Run every Fig. 24 variant over the same fleet, data, and weights."""
     assets = prepare_fleet_assets(scenario)
     return {
-        config.system_id: run_fleet(config, assets) for config in SYSTEMS
+        config.system_id: run_fleet(config, assets, workers=workers)
+        for config in SYSTEMS
     }

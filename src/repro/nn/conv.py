@@ -4,6 +4,12 @@ This is the layer the whole paper revolves around: Eq. (1) measures its op
 count, the GPU model times its matmul form (Fig. 8), and the FPGA engines in
 ``repro.hw`` execute its loop-nest form (Fig. 9).  The numerical layer here
 is the *functional* reference those hardware models are validated against.
+
+The dense path keeps a small per-layer pool of scratch arrays (column
+matrices, gradient rows, col2im scratch) so the steady-state training loop
+performs no large allocations: the same buffers are rewritten every step.
+All reuse is pure data movement — GEMM call shapes and accumulation order
+are unchanged — so results stay bit-identical to the unpooled code.
 """
 
 from __future__ import annotations
@@ -18,6 +24,36 @@ from repro.nn.init import he_normal
 from repro.nn.tensor import Parameter
 
 __all__ = ["Conv2D"]
+
+
+class _ScratchPool:
+    """Reusable scratch arrays keyed by (role, shape, dtype).
+
+    A convolution layer sees a handful of distinct batch shapes (train
+    batches, the trailing partial batch, eval batches); the pool keeps one
+    live array per role/shape pair with LRU eviction so alternating shapes
+    don't thrash.  Evicting an array that a caller still references is
+    harmless — they hold the only reference and it simply stops being
+    reused.
+    """
+
+    __slots__ = ("_arrays", "_cap")
+
+    def __init__(self, cap: int = 16) -> None:
+        self._arrays: dict[tuple, np.ndarray] = {}
+        self._cap = cap
+
+    def get(
+        self, role: str, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        key = (role, shape, np.dtype(dtype).str)
+        buf = self._arrays.pop(key, None)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+        self._arrays[key] = buf
+        while len(self._arrays) > self._cap:
+            del self._arrays[next(iter(self._arrays))]
+        return buf
 
 
 class Conv2D(Layer):
@@ -39,6 +75,13 @@ class Conv2D(Layer):
     rng:
         Generator for He-normal weight init; required so model builds are
         reproducible.
+
+    Notes
+    -----
+    ``backward`` returns an input gradient that may alias a per-layer
+    scratch buffer rewritten on the *next* ``backward`` call; consume it
+    within the current backprop pass (as :class:`~repro.nn.network.Sequential`
+    does) rather than storing it across steps.
     """
 
     def __init__(
@@ -84,6 +127,7 @@ class Conv2D(Layer):
         #: input gradient, letting backward skip the expensive col2im scatter
         self.skip_input_grad = False
         self._cache: tuple[np.ndarray, Shape] | None = None
+        self._pool = _ScratchPool()
 
     @property
     def parameters(self) -> Sequence[Parameter]:
@@ -117,13 +161,35 @@ class Conv2D(Layer):
     # ------------------------------------------------------------------
     # groups == 1 (the common path)
     # ------------------------------------------------------------------
+    def _col_shape(self, x_shape: Shape) -> tuple[int, int]:
+        batch = x_shape[0]
+        _, out_h, out_w = self.output_shape(x_shape[1:])
+        return (
+            batch * out_h * out_w,
+            self.in_channels * self.kernel * self.kernel,
+        )
+
     def _forward_dense(self, x: np.ndarray, *, training: bool) -> np.ndarray:
         batch = x.shape[0]
         _, out_h, out_w = self.output_shape(x.shape[1:])
-        cols = im2col(x, self.kernel, self.stride, self.pad)
+        if training:
+            # The training column matrix lives in self._cache until backward
+            # consumes it; only hand out the pooled buffer when no live cache
+            # still points at it.
+            col_buf = (
+                self._pool.get("cols_train", self._col_shape(x.shape), x.dtype)
+                if self._cache is None
+                else None
+            )
+        else:
+            col_buf = self._pool.get(
+                "cols_infer", self._col_shape(x.shape), x.dtype
+            )
+        cols = im2col(x, self.kernel, self.stride, self.pad, out=col_buf)
         # Fm (M x NK^2) @ Dm^T, computed as Dm_rows @ Fm^T for cache locality.
         flat_w = self.weight.data.reshape(self.out_channels, -1)
-        out = cols @ flat_w.T + self.bias.data
+        out = cols @ flat_w.T
+        out += self.bias.data
         if training:
             self._cache = (cols, x.shape)
         return (
@@ -135,18 +201,46 @@ class Conv2D(Layer):
         cols, x_shape = self._cache
         self._cache = None
         batch, _, out_h, out_w = grad_out.shape
-        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(
-            batch * out_h * out_w, self.out_channels
+        rows_shape = (batch * out_h * out_w, self.out_channels)
+        grad_rows = self._pool.get("grad_rows", rows_shape, grad_out.dtype)
+        np.copyto(
+            grad_rows.reshape(batch, out_h, out_w, self.out_channels),
+            grad_out.transpose(0, 2, 3, 1),
         )
         flat_w = self.weight.data.reshape(self.out_channels, -1)
-        self.weight.accumulate(
-            (grad_rows.T @ cols).reshape(self.weight.data.shape)
-        )
+        grad_w = self._pool.get("grad_w", flat_w.shape, grad_rows.dtype)
+        np.matmul(grad_rows.T, cols, out=grad_w)
+        self.weight.accumulate(grad_w.reshape(self.weight.data.shape))
         self.bias.accumulate(grad_rows.sum(axis=0))
         if self.skip_input_grad:
             return np.zeros(x_shape, dtype=grad_out.dtype)
-        grad_cols = grad_rows @ flat_w
-        return col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+        grad_cols = self._pool.get("grad_cols", cols.shape, grad_rows.dtype)
+        np.matmul(grad_rows, flat_w, out=grad_cols)
+        six_shape = (
+            batch,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+            out_h,
+            out_w,
+        )
+        padded_shape = (
+            batch,
+            self.in_channels,
+            x_shape[2] + 2 * self.pad,
+            x_shape[3] + 2 * self.pad,
+        )
+        return col2im(
+            grad_cols,
+            x_shape,
+            self.kernel,
+            self.stride,
+            self.pad,
+            scratch=self._pool.get("col2im_scratch", six_shape, grad_rows.dtype),
+            padded_out=self._pool.get(
+                "col2im_padded", padded_shape, grad_rows.dtype
+            ),
+        )
 
     # ------------------------------------------------------------------
     # groups > 1 (AlexNet's two-tower convolutions)
@@ -195,14 +289,13 @@ class Conv2D(Layer):
             if self.skip_input_grad
             else np.empty(x_shape, dtype=grad_out.dtype)
         )
+        grad_w_full = np.empty_like(self.weight.data)
         for g in range(self.groups):
             rows_g = grad_rows[:, g * out_per : (g + 1) * out_per]
             cols = group_cols[g]
-            grad_w = (rows_g.T @ cols).reshape(
-                out_per, in_per, self.kernel, self.kernel
-            )
-            if not self.weight.frozen:
-                self.weight.grad[g * out_per : (g + 1) * out_per] += grad_w
+            grad_w_full[g * out_per : (g + 1) * out_per] = (
+                rows_g.T @ cols
+            ).reshape(out_per, in_per, self.kernel, self.kernel)
             if grad_in is not None:
                 w_g = self.weight.data[
                     g * out_per : (g + 1) * out_per
@@ -212,6 +305,9 @@ class Conv2D(Layer):
                 grad_in[:, g * in_per : (g + 1) * in_per] = col2im(
                     grad_cols, group_shape, self.kernel, self.stride, self.pad
                 )
+        # Routed through accumulate (not a direct self.weight.grad poke) so
+        # frozen-parameter semantics match the dense path.
+        self.weight.accumulate(grad_w_full)
         if grad_in is None:
             return np.zeros(x_shape, dtype=grad_out.dtype)
         return grad_in

@@ -1,0 +1,80 @@
+"""Reference (pre-optimization) implementations of the NN hot paths.
+
+These are the loop-based ``im2col``/``col2im`` from the original tree, kept
+verbatim as the ground truth for two consumers:
+
+* the hypothesis property tests in ``tests/nn/test_im2col.py``, which assert
+  the optimized :mod:`repro.nn.im2col` matches these **bit-exactly** across a
+  kernel/stride/pad grid, and
+* ``benchmarks/bench_hotpath.py``, which reports optimized-vs-reference
+  speedups without needing to check out the old revision.
+
+Do not optimize this module — its whole value is staying slow and obviously
+correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import conv_output_size
+
+__all__ = ["im2col_reference", "col2im_reference"]
+
+
+def im2col_reference(
+    images: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Loop-based im2col: per-tap gather then transpose+reshape copy."""
+    batch, channels, height, width = images.shape
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    if pad:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+
+    cols = np.empty(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=images.dtype
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = images[
+                :, :, ky:y_max:stride, kx:x_max:stride
+            ]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+
+
+def col2im_reference(
+    cols: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Loop-based col2im with per-call ``ascontiguousarray``/``zeros``."""
+    batch, channels, height, width = image_shape
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    cols6 = np.ascontiguousarray(cols6.transpose(0, 3, 4, 5, 1, 2))
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=cols.dtype
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols6[
+                :, :, ky, kx, :, :
+            ]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

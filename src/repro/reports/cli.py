@@ -221,7 +221,9 @@ def _render_specs() -> str:
     return devices + "\n\n" + networks
 
 
-def _render_fleet(num_nodes: int, policy: str, seed: int) -> str:
+def _render_fleet(
+    num_nodes: int, policy: str, seed: int, *, workers: int = 1
+) -> str:
     """Beyond the paper: the four Fig. 24 variants at fleet scale."""
     from repro.fleet import (
         FleetScenario,
@@ -235,7 +237,7 @@ def _render_fleet(num_nodes: int, policy: str, seed: int) -> str:
         scheduler_policy=policy,
         seed=seed,
     )
-    results = run_fleet_all_systems(scenario)
+    results = run_fleet_all_systems(scenario, workers=workers)
     mb = 1e6
     aggregate = format_table(
         f"Fleet ({num_nodes} nodes, policy={policy}) — aggregate movement "
@@ -438,6 +440,16 @@ def main(argv: list[str] | None = None) -> int:
             "cycle their acquisition schedule until the horizon"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool workers for per-node fleet computation in "
+            "'--mode lockstep' (default: 1 = serial; any value produces "
+            "bit-identical results)"
+        ),
+    )
     args = parser.parse_args(argv)
     # choices= with nargs="*" rejects the no-argument case on some
     # CPython patch releases (gh-73484), so validation happens here.
@@ -456,6 +468,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--horizon only applies to --mode event")
         if args.horizon <= 0:
             parser.error("--horizon must be positive")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.workers > 1 and args.mode == "event":
+        parser.error("--workers only applies to --mode lockstep")
     for name in selected:
         if name not in valid:
             parser.error(
@@ -473,7 +489,14 @@ def main(argv: list[str] | None = None) -> int:
                     )
                 )
             else:
-                print(_render_fleet(args.nodes, args.policy, args.fleet_seed))
+                print(
+                    _render_fleet(
+                        args.nodes,
+                        args.policy,
+                        args.fleet_seed,
+                        workers=args.workers,
+                    )
+                )
         else:
             print(_EXPERIMENTS[name]())
         print()
