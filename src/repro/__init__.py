@@ -28,6 +28,8 @@ Subpackages
 ``repro.core``
     The In-situ AI framework: node, cloud, mode planners, and the
     four-system end-to-end simulation.
+``repro.lint``
+    Static determinism & performance contract checker (stdlib ast).
 """
 
 from repro import (
@@ -36,6 +38,7 @@ from repro import (
     data,
     diagnosis,
     hw,
+    lint,
     models,
     nn,
     reports,
@@ -52,6 +55,7 @@ __all__ = [
     "data",
     "diagnosis",
     "hw",
+    "lint",
     "models",
     "nn",
     "reports",

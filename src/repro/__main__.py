@@ -1,8 +1,23 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+Subcommands: ``lint`` routes to the static contract checker
+(:mod:`repro.lint`); everything else is an experiment name handled by the
+report runner (:mod:`repro.reports.cli`).
+"""
 
 import sys
 
-from repro.reports.cli import main
+
+def main() -> int:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
+    from repro.reports.cli import main as reports_main
+
+    return reports_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())
