@@ -15,6 +15,7 @@ errors.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import Dataset, DriftModel, make_dataset
 from repro.diagnosis import (
@@ -76,6 +77,7 @@ def run(bench_generator):
     }
 
 
+@pytest.mark.slow
 def bench_ablation_diagnosis(benchmark, bench_generator, tables):
     reports = benchmark.pedantic(
         run, args=(bench_generator,), rounds=1, iterations=1

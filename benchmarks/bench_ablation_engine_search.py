@@ -8,9 +8,12 @@ bench quantifies how much it buys on each network's conv stack — conv1's
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import engine_search_rows
 
 
+@pytest.mark.slow
 def bench_ablation_engine_search(benchmark, tables):
     rows = benchmark.pedantic(engine_search_rows, rounds=1, iterations=1)
     tables(

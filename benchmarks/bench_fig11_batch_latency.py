@@ -7,9 +7,12 @@ creating the latency/efficiency trade-off that motivates the time model.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig11_rows
 
 
+@pytest.mark.slow
 def bench_fig11_batch_latency(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig11_rows, args=(alexnet,), rounds=1, iterations=1

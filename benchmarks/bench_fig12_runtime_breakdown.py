@@ -7,9 +7,12 @@ the share fades as batching amortizes weight traffic.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig12_rows
 
 
+@pytest.mark.slow
 def bench_fig12_runtime_breakdown(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig12_rows, args=(alexnet,), rounds=1, iterations=1

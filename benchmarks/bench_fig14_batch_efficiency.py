@@ -9,9 +9,12 @@ Single-running mode lives on the GPU.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig14_rows
 
 
+@pytest.mark.slow
 def bench_fig14_batch_efficiency(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig14_rows, args=(alexnet,), rounds=1, iterations=1

@@ -7,9 +7,12 @@ size does not appear in Eq. (4).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig15_rows
 
 
+@pytest.mark.slow
 def bench_fig15_utilization(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig15_rows, args=(alexnet,), rounds=1, iterations=1

@@ -7,9 +7,12 @@ spatially partitioned engines.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig16_rows
 
 
+@pytest.mark.slow
 def bench_fig16_interference(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig16_rows, args=(alexnet,), rounds=1, iterations=1

@@ -12,9 +12,12 @@ modeling genuinely disagree.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig21_rows
 
 
+@pytest.mark.slow
 def bench_fig21_single_running(benchmark, tables):
     rows = benchmark.pedantic(fig21_rows, rounds=1, iterations=1)
     tables(

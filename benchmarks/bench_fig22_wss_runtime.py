@@ -9,12 +9,15 @@ architectures but not for NWS.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.reports.figures import fig22_rows
 
 PE_BUDGET = 2628
 DEPTHS = (0, 3, 5)
 
 
+@pytest.mark.slow
 def bench_fig22_wss_runtime(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig22_rows, args=(alexnet,), rounds=1, iterations=1

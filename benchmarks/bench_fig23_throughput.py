@@ -8,12 +8,15 @@ requirement — its 50 ms throughput already beats NWS-batch's 800 ms best.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.hw.pipeline import ARCH_FACTORIES
 from repro.reports.figures import fig23_rows
 
 REQS_MS = (50, 100, 200, 400, 800)
 
 
+@pytest.mark.slow
 def bench_fig23_throughput(benchmark, alexnet, tables):
     rows = benchmark.pedantic(
         fig23_rows, args=(alexnet,), rounds=1, iterations=1

@@ -10,6 +10,8 @@ saving is 30-70%.
 
 from __future__ import annotations
 
+import pytest
+
 
 def collect(system_results):
     rows = []
@@ -31,6 +33,7 @@ def collect(system_results):
     return rows
 
 
+@pytest.mark.slow
 def bench_fig25_system_comparison(benchmark, system_results, tables):
     rows = benchmark.pedantic(
         collect, args=(system_results,), rounds=1, iterations=1

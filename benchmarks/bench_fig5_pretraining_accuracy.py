@@ -9,6 +9,7 @@ a better inference network.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import DriftModel, make_dataset
 from repro.models import build_classifier
@@ -55,6 +56,7 @@ def run(pretrained_context, bench_generator):
     return curves
 
 
+@pytest.mark.slow
 def bench_fig5_pretraining_accuracy(
     benchmark, pretrained_context, bench_generator, tables
 ):

@@ -9,6 +9,7 @@ costs little accuracy while the weight sharing cuts training time 1.7X.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import DriftModel, make_dataset
 from repro.models import build_classifier
@@ -66,6 +67,7 @@ def run(pretrained_context, bench_generator):
     return rows
 
 
+@pytest.mark.slow
 def bench_fig6_layer_locking(
     benchmark, pretrained_context, bench_generator, tables
 ):

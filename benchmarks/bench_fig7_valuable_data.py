@@ -10,6 +10,7 @@ moving the least data and training the fastest.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import Dataset, DriftModel, make_dataset
 from repro.diagnosis import OracleDiagnoser
@@ -59,6 +60,7 @@ def run(bench_generator):
     return rows
 
 
+@pytest.mark.slow
 def bench_fig7_valuable_data(benchmark, bench_generator, tables):
     rows = benchmark.pedantic(
         run, args=(bench_generator,), rounds=1, iterations=1

@@ -11,6 +11,7 @@ ordering is preserved on both distributions.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.models import MODEL_CONFIGS, build_model
 from repro.transfer import evaluate, train_classifier
@@ -40,6 +41,7 @@ def run(bench_datasets):
     return rows
 
 
+@pytest.mark.slow
 def bench_table1_static_accuracy(benchmark, bench_datasets, tables):
     rows = benchmark.pedantic(
         run, args=(bench_datasets,), rounds=1, iterations=1

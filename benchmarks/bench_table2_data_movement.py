@@ -7,6 +7,8 @@ of each new batch.  Systems a/b upload everything (all-1 rows).
 
 from __future__ import annotations
 
+import pytest
+
 
 def collect(system_results):
     return {
@@ -15,6 +17,7 @@ def collect(system_results):
     }
 
 
+@pytest.mark.slow
 def bench_table2_data_movement(benchmark, system_results, tables):
     movement = benchmark.pedantic(
         collect, args=(system_results,), rounds=1, iterations=1
