@@ -105,7 +105,7 @@ class ImageGenerator:
         self.image_size = image_size
         self.num_classes = num_classes
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        grid = np.arange(image_size, dtype=np.float64)
+        grid = np.arange(image_size, dtype=np.float64)  # repro-lint: ignore[RPR004] f64 pixel grid is the exact-stream render contract (bit-pins trig terms)
         self._yy, self._xx = np.meshgrid(grid, grid, indexing="ij")
         # Fixed background terms, precomputed once; bitwise identical to
         # evaluating them per image (they depend only on the pixel grid).
@@ -153,7 +153,7 @@ class ImageGenerator:
                 *p.fg_color,
                 p.bg_level,
             ],
-            dtype=np.float64,
+            dtype=np.float64,  # repro-lint: ignore[RPR004] f64 bit patterns of the params are the SeedSequence entropy; narrowing changes derived streams
         )
         # SeedSequence entropy must be non-negative ints < 2**64; drop the
         # low bit of each float's pattern to stay in range.
@@ -205,7 +205,7 @@ class ImageGenerator:
             )
         count = len(labels)
         size = self.image_size
-        dtype = np.float64 if exact_stream else np.float32
+        dtype = np.float64 if exact_stream else np.float32  # repro-lint: ignore[RPR004] exact_stream contract renders in f64 to match generate() bitwise
         if count == 0:
             return np.empty((0, 3, size, size), dtype=dtype)
         if exact_stream:
@@ -238,7 +238,7 @@ class ImageGenerator:
         bg = 0.12 + (0.3 - 0.12) * draws[:, 7]
         imgs = self._render_batch(
             labels, cy, cx, scale, np.cos(angle), np.sin(angle), fg, bg,
-            np.float64,
+            np.float64,  # repro-lint: ignore[RPR004] exact-stream path must accumulate in f64 to stay bit-identical to per-image generate()
         )
         imgs += noise
         return np.clip(imgs, 0.0, 1.0)

@@ -23,7 +23,7 @@ def calibrate_threshold(scores: np.ndarray, target_fraction: float) -> float:
     Used to calibrate score-based diagnosers against an upload budget: flag
     the lowest-scoring ``target_fraction`` of samples.
     """
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)  # repro-lint: ignore[RPR004] cold-path quantile; goldens pin the f64 threshold values
     if scores.size == 0:
         raise ValueError("cannot calibrate on zero scores")
     if not 0.0 <= target_fraction <= 1.0:

@@ -31,7 +31,7 @@ class Parameter:
 
     def __init__(self, data: np.ndarray, name: str = "param") -> None:
         self.data = np.asarray(data, dtype=default_dtype())
-        self.grad = np.zeros_like(self.data)
+        self.grad = np.zeros_like(self.data)  # repro-lint: ignore[RPR007] Parameter owns the buffer it allocates
         self.name = name
         self.frozen = False
 
@@ -45,7 +45,7 @@ class Parameter:
 
     def zero_grad(self) -> None:
         """Reset the gradient accumulator in place."""
-        self.grad[...] = 0.0
+        self.grad[...] = 0.0  # repro-lint: ignore[RPR007] zero_grad is one of the two sanctioned write points
 
     def accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into the gradient buffer unless the parameter is frozen.
@@ -57,7 +57,7 @@ class Parameter:
         """
         if self.frozen:
             return
-        self.grad += grad
+        self.grad += grad  # repro-lint: ignore[RPR007] accumulate() is the sanctioned write point the rule funnels everyone into
 
     def copy_from(self, other: "Parameter") -> None:
         """Copy another parameter's values (transfer-learning surgery)."""
