@@ -1,0 +1,8 @@
+"""Keep pytest away from the lint rule fixtures.
+
+The files under ``fixtures/`` are intentionally-contract-violating inputs
+for the linter (some are even named ``bench_*.py``, which pytest would
+otherwise collect); they are parsed by ``repro.lint``, never imported.
+"""
+
+collect_ignore_glob = ["fixtures/*"]

@@ -1,0 +1,10 @@
+"""Fixture: pytest-collected benchmark without slow marker (RPR008)."""
+# repro-lint: scope=benchmarks
+
+
+def helper():
+    return 1
+
+
+def bench_unmarked(benchmark):
+    benchmark(helper)

@@ -1,0 +1,13 @@
+"""Fixture: benchmark carrying the slow marker (clean for RPR008)."""
+# repro-lint: scope=benchmarks
+
+import pytest
+
+
+def helper():
+    return 1
+
+
+@pytest.mark.slow
+def bench_marked(benchmark):
+    benchmark(helper)

@@ -1,0 +1,8 @@
+"""Fixture: legacy global NumPy RNG (RPR001)."""
+
+import numpy as np
+from numpy.random import rand
+
+np.random.seed(7)
+values = np.random.uniform(0.0, 1.0, size=8)
+noise = rand(3)

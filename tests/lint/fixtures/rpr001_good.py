@@ -1,0 +1,8 @@
+"""Fixture: explicit Generator API (clean for RPR001)."""
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+rng = default_rng(7)
+values = rng.uniform(0.0, 1.0, size=8)
+child = np.random.default_rng(SeedSequence(7).spawn(1)[0])

@@ -1,0 +1,7 @@
+"""Fixture: seeded, kernel-clocked simulation code (clean for RPR002)."""
+# repro-lint: module=repro.hw.fake
+
+import numpy as np
+
+rng = np.random.default_rng(1234)
+jitter = rng.random()

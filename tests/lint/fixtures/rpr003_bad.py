@@ -1,0 +1,9 @@
+"""Fixture: function shadows its rng parameter (RPR003)."""
+# repro-lint: scope=src
+
+import numpy as np
+
+
+def sample(count, rng):
+    fresh = np.random.default_rng(0)
+    return fresh.random(count)

@@ -1,0 +1,15 @@
+"""Fixture: the seeded None-fallback idiom (clean for RPR003)."""
+# repro-lint: scope=src
+
+import numpy as np
+
+
+def sample(count, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return rng.random(count)
+
+
+def sample_stmt(count, rng=None):
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return rng.random(count)

@@ -1,0 +1,8 @@
+"""Fixture: float64 promotion markers on a hot path (RPR004)."""
+# repro-lint: module=repro.models.fake
+
+import numpy as np
+
+acc = np.zeros(16, dtype=np.float64)
+wide = np.arange(4, dtype=float)
+also_wide = wide.astype(float)

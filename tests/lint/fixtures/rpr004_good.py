@@ -1,0 +1,7 @@
+"""Fixture: float32 throughout (clean for RPR004)."""
+# repro-lint: module=repro.models.fake
+
+import numpy as np
+
+acc = np.zeros(16, dtype=np.float32)
+narrow = np.arange(4, dtype=np.float32)

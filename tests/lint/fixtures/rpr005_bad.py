@@ -1,0 +1,5 @@
+"""Fixture: production module imports the oracle (RPR005)."""
+# repro-lint: module=repro.core.fake
+
+import repro.nn.reference
+from repro.data.reference import ReferenceImageGenerator

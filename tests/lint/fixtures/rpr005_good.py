@@ -1,0 +1,4 @@
+"""Fixture: production module uses production modules (RPR005 clean)."""
+# repro-lint: module=repro.core.fake
+
+from repro.data.images import ImageGenerator

@@ -1,0 +1,7 @@
+"""Fixture: hash-ordered set iteration in scheduling code (RPR006)."""
+# repro-lint: module=repro.fleet.fake
+
+ids = ["n3", "n1", "n2"]
+for node_id in set(ids):
+    print(node_id)
+order = list({"a", "b"} | {"c"})

@@ -1,0 +1,7 @@
+"""Fixture: sorted before iterating (clean for RPR006)."""
+# repro-lint: module=repro.fleet.fake
+
+ids = ["n3", "n1", "n2"]
+for node_id in sorted(set(ids)):
+    print(node_id)
+order = sorted({"a", "b"} | {"c"})

@@ -1,0 +1,7 @@
+"""Fixture: raw gradient write bypassing accumulate (RPR007)."""
+# repro-lint: module=repro.nn.fake
+
+
+def backward(param, grad):
+    param.grad += grad
+    param.grad[...] = 0.0

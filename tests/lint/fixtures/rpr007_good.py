@@ -1,0 +1,7 @@
+"""Fixture: gradients routed through accumulate (clean for RPR007)."""
+# repro-lint: module=repro.nn.fake
+
+
+def backward(param, grad):
+    param.accumulate(grad)
+    param.zero_grad()

@@ -1,0 +1,7 @@
+"""Fixture: suppression hygiene violations (RPR009)."""
+
+import numpy as np
+
+np.random.seed(1)  # repro-lint: ignore[RPR001]
+x = 2  # repro-lint: ignore[RPR999] names an unknown rule code
+y = 3  # repro-lint: bogus pragma body

@@ -1,0 +1,5 @@
+"""Fixture: well-formed suppression with a reason (clean for RPR009)."""
+
+import numpy as np
+
+np.random.seed(1)  # repro-lint: ignore[RPR001] fixture demonstrating the legacy API on purpose

@@ -1,0 +1,3 @@
+"""Fixture: suppression that matches no finding (RPR010)."""
+
+total = 1 + 1  # repro-lint: ignore[RPR001] nothing on this line draws randomness

@@ -1,0 +1,97 @@
+"""One bad/good fixture pair per rule code.
+
+Every ``*_bad.py`` fixture must produce *only* its own code among active
+findings (suppressed findings may ride along — RPR009's fixture shows a
+reasonless suppression, which suppresses the target but flags the
+hygiene rule), and every ``*_good.py`` must come back fully clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_codes, lint_file, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CASES = {
+    "RPR001": ("rpr001_bad.py", "rpr001_good.py"),
+    "RPR002": ("rpr002_bad.py", "rpr002_good.py"),
+    "RPR003": ("rpr003_bad.py", "rpr003_good.py"),
+    "RPR004": ("rpr004_bad.py", "rpr004_good.py"),
+    "RPR005": ("rpr005_bad.py", "rpr005_good.py"),
+    "RPR006": ("rpr006_bad.py", "rpr006_good.py"),
+    "RPR007": ("rpr007_bad.py", "rpr007_good.py"),
+    "RPR008": ("bench_rpr008_bad.py", "bench_rpr008_good.py"),
+    "RPR009": ("rpr009_bad.py", "rpr009_good.py"),
+    "RPR010": ("rpr010_bad.py", "rpr010_good.py"),
+}
+
+EXPECTED_BAD_COUNTS = {
+    "RPR001": 3,  # seed, uniform, from-import of rand
+    "RPR002": 4,  # time.time, random.random, os.urandom, argless default_rng
+    "RPR003": 1,
+    "RPR004": 3,  # dtype=np.float64, dtype=float, astype(float)
+    "RPR005": 2,  # import x and from-import
+    "RPR006": 2,  # for-loop over set(), list() of set union
+    "RPR007": 2,  # aug-assign and subscript assign
+    "RPR008": 1,
+    "RPR009": 3,  # missing reason, unknown code, malformed pragma
+    "RPR010": 1,
+}
+
+
+def test_every_rule_code_has_a_fixture_pair():
+    assert set(CASES) == set(all_codes()) - {"RPR000"}
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_bad_fixture_triggers_exactly_its_code(code):
+    findings = lint_file(FIXTURES / CASES[code][0])
+    active = [f for f in findings if not f.suppressed]
+    assert {f.code for f in active} == {code}
+    assert len(active) == EXPECTED_BAD_COUNTS[code]
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_good_fixture_is_clean(code):
+    findings = lint_file(FIXTURES / CASES[code][1])
+    assert [f for f in findings if not f.suppressed] == []
+
+
+def test_rpr000_syntax_error_inline():
+    findings = lint_source("def broken(:\n    pass\n", "broken.py")
+    assert [f.code for f in findings] == ["RPR000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_findings_carry_stable_locations():
+    findings = lint_file(FIXTURES / "rpr001_bad.py")
+    first = [f for f in findings if not f.suppressed][0]
+    assert first.file.endswith("rpr001_bad.py")
+    assert first.line > 0 and first.col >= 0
+
+
+def test_rpr003_allows_seeded_fallback_but_not_argless():
+    source = (
+        "# repro-lint: scope=src\n"
+        "import numpy as np\n"
+        "def f(rng=None):\n"
+        "    rng = rng if rng is not None else np.random.default_rng()\n"
+        "    return rng.random()\n"
+    )
+    codes = {f.code for f in lint_source(source, "f.py")}
+    # argless fallback: both the shadowing rule and the entropy rule bite
+    assert "RPR003" in codes and "RPR002" in codes
+
+
+def test_qualify_does_not_flag_lookalike_attribute_chains():
+    # rng.random() / self.time.time() must not impersonate modules
+    source = (
+        "# repro-lint: module=repro.hw.fake\n"
+        "def f(rng, obj):\n"
+        "    return rng.random() + obj.time.time()\n"
+    )
+    assert lint_source(source, "f.py") == []
