@@ -189,6 +189,63 @@ def measure_conv(quick: bool, rounds: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Observability overhead gate: instrumentation must stay a no-op
+# ----------------------------------------------------------------------
+#: the perf-smoke gate fails when the enabled-but-idle profiling hooks
+#: slow the conv hot path by more than this fraction
+OBS_OVERHEAD_LIMIT = 0.03
+
+
+def measure_obs_overhead(quick: bool, rounds: int) -> dict:
+    """Conv1 fwd+bwd with profiling disabled vs enabled-but-idle.
+
+    The ``@profiled`` hooks on conv/im2col stay in the call path
+    permanently; this measures what they cost in both states.  Nothing
+    consumes the recorded stats ("idle"), so the enabled number is pure
+    instrumentation overhead.  Min-of-rounds keeps the comparison robust
+    on noisy single-core runners.
+    """
+    from repro.obs.profile import (
+        disable_profiling,
+        enable_profiling,
+        reset_profiling,
+    )
+
+    batch = 2 if quick else 4
+    layer = Conv2D(3, 96, 11, 4, 0, rng=np.random.default_rng(1))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((batch, 3, 227, 227)).astype(np.float32)
+    _, oh, ow = layer.output_shape(x.shape[1:])
+    grad_out = rng.standard_normal((batch, 96, oh, ow)).astype(np.float32)
+
+    def step() -> None:
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        for p in layer.parameters:
+            p.zero_grad()
+
+    disable_profiling()
+    disabled_ms = _best_ms(step, rounds)
+    enable_profiling()
+    try:
+        enabled_ms = _best_ms(step, rounds)
+    finally:
+        disable_profiling()
+        reset_profiling()
+    overhead = enabled_ms / disabled_ms - 1.0
+    return {
+        "obs_overhead": {
+            "batch": batch,
+            "rounds": rounds,
+            "disabled_ms": disabled_ms,
+            "enabled_idle_ms": enabled_ms,
+            "overhead_fraction": overhead,
+            "limit_fraction": OBS_OVERHEAD_LIMIT,
+        }
+    }
+
+
+# ----------------------------------------------------------------------
 # Stage 3: dataset cache
 # ----------------------------------------------------------------------
 def measure_dataset_cache(quick: bool) -> dict:
@@ -313,7 +370,29 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=4,
         help="pool size for the fleet stage (default: 4)",
     )
+    parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help="standalone gate: measure idle profiling overhead on the "
+        f"conv hot path and exit 1 if it exceeds {OBS_OVERHEAD_LIMIT:.0%}",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        rounds = 6 if args.quick else 10
+        stage = measure_obs_overhead(args.quick, rounds)["obs_overhead"]
+        print(
+            f"  obs_overhead: disabled {stage['disabled_ms']:.2f} ms, "
+            f"enabled-idle {stage['enabled_idle_ms']:.2f} ms "
+            f"({stage['overhead_fraction']:+.2%}, "
+            f"limit {OBS_OVERHEAD_LIMIT:.0%})"
+        )
+        if args.out is not None:
+            args.out.write_text(json.dumps(stage, indent=2) + "\n")
+            print(f"wrote {args.out}")
+        if stage["overhead_fraction"] > OBS_OVERHEAD_LIMIT:
+            print("OBS OVERHEAD REGRESSION: idle instrumentation too costly")
+            return 1
+        return 0
 
     result = run_benchmarks(args.quick, args.workers)
     for name, stage in result["stages"].items():

@@ -8,10 +8,18 @@ the canaries do not regress.  The second act deliberately poisons an
 update to show the canary guard refusing it: the bad model reaches the
 canary nodes, is rolled back, and never becomes a registry version.
 
-Run:  python examples/fleet_rollout.py
+Run:  python examples/fleet_rollout.py [--trace TRACE.jsonl]
+                                       [--metrics METRICS.json]
+
+With ``--trace`` the run also emits a deterministic JSONL trace of the
+fleet timeline (convert with ``python -m repro obs convert``); with
+``--metrics`` it dumps the fleet/cloud/training counters.
 """
 
 from __future__ import annotations
+
+import argparse
+from pathlib import Path
 
 import numpy as np
 
@@ -24,9 +32,23 @@ from repro.fleet import (
     prepare_fleet_assets,
     run_fleet,
 )
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.cli import summarize
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="write a JSONL trace of the fleet run to this path",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None,
+        help="write the metrics registry dump (JSON) to this path",
+    )
+    args = parser.parse_args(argv)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
     scenario = FleetScenario(
         base=fleet_base_scenario(
             stream_scale=0.03,
@@ -53,7 +75,9 @@ def main() -> None:
     # Act 1: the In-situ AI variant (d) at fleet scale.
     # ------------------------------------------------------------------
     assets = prepare_fleet_assets(scenario)
-    report = run_fleet(system_by_id("d"), assets)
+    report = run_fleet(
+        system_by_id("d"), assets, tracer=tracer, metrics=metrics
+    )
     print(f"\ncanary subset: nodes {assets.canary_ids}")
     for stage in report.stages:
         verdict = (
@@ -75,6 +99,14 @@ def main() -> None:
         f"cloud update time {report.total_update_time_s:.1f}s, "
         f"model versions {report.registry.history()}"
     )
+
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"\ntimeline ({len(tracer.records)} records -> {args.trace}):")
+        print(summarize(tracer.records, limit=8))
+    if metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"metrics -> {args.metrics}")
 
     # ------------------------------------------------------------------
     # Act 2: a poisoned update meets the canary guard.

@@ -1,8 +1,9 @@
 """Entry point for ``python -m repro``.
 
 Subcommands: ``lint`` routes to the static contract checker
-(:mod:`repro.lint`); everything else is an experiment name handled by the
-report runner (:mod:`repro.reports.cli`).
+(:mod:`repro.lint`); ``obs`` to the trace summarizer/converter
+(:mod:`repro.obs.cli`); everything else is an experiment name handled by
+the report runner (:mod:`repro.reports.cli`).
 """
 
 import sys
@@ -14,6 +15,10 @@ def main() -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     from repro.reports.cli import main as reports_main
 
     return reports_main(argv)

@@ -1,12 +1,13 @@
 """Cloud <-> node communication substrate."""
 
 from repro.comm.link import JPEG_IMAGE_BYTES, LTE, WIFI, NetworkLink
-from repro.comm.movement import DataMovementLedger, StageMovement
+from repro.comm.movement import DataMovementLedger, LedgerTotals, StageMovement
 
 __all__ = [
     "DataMovementLedger",
     "JPEG_IMAGE_BYTES",
     "LTE",
+    "LedgerTotals",
     "NetworkLink",
     "StageMovement",
     "WIFI",

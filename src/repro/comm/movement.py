@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StageMovement", "DataMovementLedger"]
+__all__ = ["StageMovement", "LedgerTotals", "DataMovementLedger"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,32 @@ class StageMovement:
         return self.uploaded_images / self.acquired_images
 
 
+@dataclass(frozen=True)
+class LedgerTotals:
+    """Immutable snapshot of a ledger's running totals.
+
+    Taken mid-run (:meth:`DataMovementLedger.snapshot`) this is a
+    consistent point-in-time view: the metrics layer and the reports
+    read this one source instead of re-summing the stage list ad hoc.
+    """
+
+    stages_recorded: int
+    acquired_images: int
+    uploaded_images: int
+    uploaded_bytes: int
+    downloaded_bytes: int
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return self.uploaded_bytes + self.downloaded_bytes
+
+    @property
+    def upload_fraction(self) -> float:
+        if self.acquired_images == 0:
+            return 0.0
+        return self.uploaded_images / self.acquired_images
+
+
 @dataclass
 class DataMovementLedger:
     """Accumulates per-stage upload records for one IoT system run.
@@ -43,10 +69,23 @@ class DataMovementLedger:
     The normalized-per-stage view is what the paper's Table II reports:
     each stage's uploads divided by that stage's acquisitions (systems that
     upload everything are the ``1.0`` rows).
+
+    Totals are maintained incrementally as stages are recorded, so they
+    are O(1) to read at any point mid-run; :meth:`snapshot` freezes them
+    into an immutable :class:`LedgerTotals`.
     """
 
     image_bytes: int
     stages: list[StageMovement] = field(default_factory=list)
+    _acquired_images: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _uploaded_images: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _downloaded_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -70,6 +109,9 @@ class DataMovementLedger:
             downloaded_bytes=downloaded_bytes,
         )
         self.stages.append(movement)
+        self._acquired_images += acquired
+        self._uploaded_images += uploaded
+        self._downloaded_bytes += downloaded_bytes
         return movement
 
     def record_download(self, stage_index: int, num_bytes: int) -> StageMovement:
@@ -80,6 +122,7 @@ class DataMovementLedger:
         """
         if num_bytes < 0:
             raise ValueError("counts must be >= 0")
+        self._downloaded_bytes += num_bytes
         for i in range(len(self.stages) - 1, -1, -1):
             entry = self.stages[i]
             if entry.stage_index == stage_index:
@@ -102,13 +145,23 @@ class DataMovementLedger:
         self.stages.append(movement)
         return movement
 
+    def snapshot(self) -> LedgerTotals:
+        """Freeze the running totals into an immutable point-in-time view."""
+        return LedgerTotals(
+            stages_recorded=len(self.stages),
+            acquired_images=self._acquired_images,
+            uploaded_images=self._uploaded_images,
+            uploaded_bytes=self._uploaded_images * self.image_bytes,
+            downloaded_bytes=self._downloaded_bytes,
+        )
+
     @property
     def total_uploaded_bytes(self) -> int:
-        return sum(s.uploaded_bytes for s in self.stages)
+        return self._uploaded_images * self.image_bytes
 
     @property
     def total_downloaded_bytes(self) -> int:
-        return sum(s.downloaded_bytes for s in self.stages)
+        return self._downloaded_bytes
 
     @property
     def total_bytes_moved(self) -> int:
@@ -117,11 +170,11 @@ class DataMovementLedger:
 
     @property
     def total_uploaded_images(self) -> int:
-        return sum(s.uploaded_images for s in self.stages)
+        return self._uploaded_images
 
     @property
     def total_acquired_images(self) -> int:
-        return sum(s.acquired_images for s in self.stages)
+        return self._acquired_images
 
     def normalized_per_stage(self) -> list[float]:
         """Table II rows: per-stage upload fraction."""
@@ -129,7 +182,7 @@ class DataMovementLedger:
 
     def overall_reduction_vs_full(self) -> float:
         """Fraction of data movement avoided relative to uploading all data."""
-        acquired = self.total_acquired_images
+        acquired = self._acquired_images
         if acquired == 0:
             return 0.0
-        return 1.0 - self.total_uploaded_images / acquired
+        return 1.0 - self._uploaded_images / acquired

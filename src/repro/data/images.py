@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.profile import profiled
+
 __all__ = ["NUM_SHAPE_CLASSES", "ShapeParams", "ImageGenerator"]
 
 NUM_SHAPE_CLASSES = 10
@@ -187,6 +189,7 @@ class ImageGenerator:
         img += noise_rng.normal(0.0, 0.015, size=img.shape)
         return np.clip(img, 0.0, 1.0)
 
+    @profiled("images.batch")
     def batch(
         self, labels: np.ndarray, *, exact_stream: bool = True
     ) -> np.ndarray:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.nn import Sequential, softmax
+from repro.obs import metrics as obs_metrics
 from repro.selfsup.context_net import ContextNetwork
 from repro.selfsup.jigsaw import JigsawSampler
 
@@ -41,6 +42,25 @@ class Diagnoser:
 
     def flags(self, data: Dataset) -> np.ndarray:
         raise NotImplementedError
+
+    def diagnose(self, data: Dataset) -> np.ndarray:
+        """``flags`` plus flag-rate accounting into the ambient metrics.
+
+        The mask is identical to :meth:`flags`; the only addition is the
+        scanned/flagged counters, recorded per diagnoser class so the
+        upload-selectivity of each design is visible in one dump.
+        """
+        mask = self.flags(data)
+        registry = obs_metrics.active()
+        if registry is not None:
+            kind = type(self).__name__
+            registry.counter("diagnosis.scanned", diagnoser=kind).inc(
+                len(data)
+            )
+            registry.counter("diagnosis.flagged", diagnoser=kind).inc(
+                int(np.count_nonzero(mask))
+            )
+        return mask
 
     def upload_fraction(self, data: Dataset) -> float:
         """Fraction of the dataset that would be uploaded."""

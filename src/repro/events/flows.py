@@ -91,13 +91,29 @@ class FlowLink:
         The event kernel this link lives on.
     capacity_bps:
         Bottleneck bandwidth in bits/s shared by all concurrent flows.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When set, the link
+        records queue depth (active flows), completed-flow counts/bytes,
+        and a per-flow achieved-throughput histogram — all derived from
+        virtual time, so the dump stays deterministic.
+    name:
+        Label distinguishing this link's metrics (e.g. ``uplink``).
     """
 
-    def __init__(self, sim: Simulator, capacity_bps: float) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bps: float,
+        *,
+        metrics=None,
+        name: str = "link",
+    ) -> None:
         if capacity_bps <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.capacity_bps = capacity_bps
+        self.metrics = metrics
+        self.name = name
         self._flows: list[_Flow] = []
         self._rates: list[float] = []
         self._last = 0.0  # clock at the last reallocation
@@ -137,6 +153,11 @@ class FlowLink:
             return done
         self._apply_progress()
         self._flows.append(_Flow(tag, num_bytes, cap_bps, latency_s, now, done))
+        if self.metrics is not None:
+            self.metrics.counter("flows.started", link=self.name).inc()
+            self.metrics.gauge("flows.active", link=self.name).set(
+                len(self._flows)
+            )
         self._reallocate()
         return done
 
@@ -176,6 +197,21 @@ class FlowLink:
         now = self.sim.now
         finished = [f for f in self._flows if f.bits <= _EPS_BITS]
         self._flows = [f for f in self._flows if f.bits > _EPS_BITS]
+        if self.metrics is not None and finished:
+            self.metrics.gauge("flows.active", link=self.name).set(
+                len(self._flows)
+            )
+            completed = self.metrics.counter("flows.completed", link=self.name)
+            moved = self.metrics.counter("flows.bytes", link=self.name)
+            throughput = self.metrics.histogram(
+                "flows.throughput_bps", link=self.name
+            )
+            for flow in finished:
+                completed.inc()
+                moved.inc(flow.num_bytes)
+                drain_time = now - flow.start
+                if drain_time > 0:
+                    throughput.observe(flow.num_bytes * 8.0 / drain_time)
         for flow in finished:
             record = FlowRecord(
                 tag=flow.tag,

@@ -55,6 +55,9 @@ from repro.fleet.simulation import (
     reseed_diagnoser,
 )
 from repro.fleet.uplink import SharedUplink
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.transfer.finetune import evaluate
 
 __all__ = [
@@ -203,6 +206,8 @@ class _EventFleet:
         horizon_s: float | None,
         barrier: bool,
         acquire_time_s: float,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if horizon_s is not None and horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
@@ -218,14 +223,21 @@ class _EventFleet:
         self.profiles = assets.profiles
         self.all_node_ids = tuple(p.node_id for p in self.profiles)
         self.index_of = {p.node_id: i for i, p in enumerate(self.profiles)}
+        # A disabled Tracer instead of None keeps every emit site a plain
+        # call; spans are stamped with the kernel clock, so the stream is
+        # as deterministic as the report itself.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics
 
         self.sim = Simulator()
         backhaul = SharedUplink(self.scenario.backhaul_bps)
-        self.uplink = backhaul.open(self.sim)
-        self.downlink = backhaul.open(self.sim, downlink=True)
+        self.uplink = backhaul.open(self.sim, metrics=metrics)
+        self.downlink = backhaul.open(self.sim, downlink=True, metrics=metrics)
         self.arrivals = Store(self.sim)
 
-        self.runtime: FleetRuntime = build_fleet_runtime(config, assets)
+        self.runtime: FleetRuntime = build_fleet_runtime(
+            config, assets, metrics=metrics
+        )
         self.report = FleetEventReport(
             config=config,
             scenario=self.scenario,
@@ -279,7 +291,31 @@ class _EventFleet:
             compute_s = (
                 node_report.inference_time_s + node_report.diagnosis_time_s
             )
+            compute_start = self.sim.now
             yield self.sim.timeout(compute_s)
+            self.tracer.span(
+                "node",
+                "compute",
+                compute_start,
+                self.sim.now,
+                node=profile.node_id,
+                stage=stage.index,
+                epoch=epoch,
+                system=self.config.system_id,
+                inference_s=node_report.inference_time_s,
+                diagnosis_s=node_report.diagnosis_time_s,
+            )
+            self.tracer.event(
+                "node",
+                "diagnosis",
+                self.sim.now,
+                node=profile.node_id,
+                stage=stage.index,
+                epoch=epoch,
+                system=self.config.system_id,
+                acquired=node_report.acquired_images,
+                flagged=node_report.flagged_images,
+            )
             # Epoch 0 is the initialization upload for every system; after
             # that, diagnosis-based systems ship only the flagged subset.
             if epoch == 0 or self.config.uploads_everything:
@@ -296,6 +332,32 @@ class _EventFleet:
                 tag=profile.node_id,
             )
             upload_done = self.sim.now
+            if count:
+                self.tracer.span(
+                    "net",
+                    "upload",
+                    upload_start,
+                    upload_done,
+                    node=profile.node_id,
+                    stage=stage.index,
+                    epoch=epoch,
+                    system=self.config.system_id,
+                    bytes=count * JPEG_IMAGE_BYTES,
+                )
+            m = self.metrics
+            if m is not None:
+                sys_id = self.config.system_id
+                m.counter("fleet.epochs", system=sys_id).inc()
+                m.counter("fleet.images.acquired", system=sys_id).inc(
+                    node_report.acquired_images
+                )
+                m.counter("fleet.images.flagged", system=sys_id).inc(
+                    node_report.flagged_images
+                )
+                m.counter("fleet.images.uploaded", system=sys_id).inc(count)
+                m.histogram("fleet.upload_time_s", system=sys_id).observe(
+                    upload_done - upload_start
+                )
             self.last_accuracy[profile.node_id] = (
                 node_report.accuracy_before_update
             )
@@ -363,6 +425,24 @@ class _EventFleet:
     def _record_update(
         self, kind: str, trigger_s: float, outcome: CloudStageOutcome
     ) -> None:
+        if self.sim.now > trigger_s:
+            self.tracer.span(
+                "cloud",
+                kind,
+                trigger_s,
+                self.sim.now,
+                system=self.config.system_id,
+                pooled=outcome.pooled_for_training,
+                promoted=outcome.promoted,
+            )
+        self.tracer.event(
+            "cloud",
+            "decision",
+            self.sim.now,
+            system=self.config.system_id,
+            updated=outcome.updated,
+            promoted=outcome.promoted,
+        )
         self.report.updates.append(
             CloudUpdateRecord(
                 kind=kind,
@@ -535,11 +615,22 @@ class _EventFleet:
     def _push_proc(self, node_id: int, num_bytes: int, state, stage_hint: int):
         i = self.index_of[node_id]
         profile = self.profiles[i]
+        push_start = self.sim.now
         yield self.downlink.transfer(
             num_bytes,
             profile.link.downlink_bps,
             latency_s=profile.link.latency_s,
             tag=node_id,
+        )
+        self.tracer.span(
+            "net",
+            "push",
+            push_start,
+            self.sim.now,
+            node=node_id,
+            stage=stage_hint,
+            system=self.config.system_id,
+            bytes=num_bytes,
         )
         self.node_states[i] = state
         trajectory = self.report.nodes[i]
@@ -557,11 +648,22 @@ class _EventFleet:
         self.sim.process(
             self._cloud_barrier() if self.barrier else self._cloud_async()
         )
-        self.report.makespan_s = self.sim.run(until=self.horizon_s)
+        with obs_metrics.use(self.metrics):
+            self.report.makespan_s = self.sim.run(until=self.horizon_s)
         self.report.rollouts = list(self.runtime.scheduler.history)
         self.report.final_eval_accuracy = evaluate(
             self.runtime.cloud.inference_net, self.assets.eval_data
         )
+        m = self.metrics
+        if m is not None:
+            sys_id = self.config.system_id
+            snap = self.report.ledger.snapshot()
+            m.gauge("fleet.bytes.uploaded", system=sys_id).set(
+                snap.uploaded_bytes
+            )
+            m.gauge("fleet.bytes.downloaded", system=sys_id).set(
+                snap.downloaded_bytes
+            )
         return self.report
 
 
@@ -572,6 +674,8 @@ def run_fleet_event(
     horizon_s: float | None = None,
     barrier: bool = False,
     acquire_time_s: float = 0.0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> FleetEventReport:
     """Run one system variant's fleet asynchronously in virtual time.
 
@@ -591,6 +695,10 @@ def run_fleet_event(
         :func:`run_fleet`'s accuracy and byte trajectories.
     acquire_time_s:
         Virtual sensing time per acquired image, before processing.
+    tracer, metrics:
+        Optional observability sinks.  Spans are stamped with the kernel
+        clock (``Simulator.now``), so a given (assets, config, mode)
+        produces a byte-identical trace stream; both default to off.
     """
     engine = _EventFleet(
         config,
@@ -598,6 +706,8 @@ def run_fleet_event(
         horizon_s=horizon_s,
         barrier=barrier,
         acquire_time_s=acquire_time_s,
+        tracer=tracer,
+        metrics=metrics,
     )
     return engine.run()
 

@@ -49,6 +49,9 @@ from repro.fleet.profiles import FleetScenario, NodeProfile
 from repro.nn.config import default_dtype
 from repro.fleet.scheduler import FleetScheduler, RolloutResult
 from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecord, Tracer, make_event, make_span
 from repro.models.layer_specs import alexnet_spec, diagnosis_spec
 from repro.models.iot_models import build_classifier
 from repro.selfsup.jigsaw import JigsawSampler
@@ -386,9 +389,17 @@ class FleetRuntime:
     deployed_net: object  # shared node-side classifier (nn.Sequential)
     nodes: list[InSituNode]
     cloud_diagnoser: object | None
+    #: observability sink threaded through both fleet modes; ``None``
+    #: keeps every instrumentation site a cheap no-op.
+    metrics: MetricsRegistry | None = None
 
 
-def build_fleet_runtime(config: SystemConfig, assets: FleetAssets) -> FleetRuntime:
+def build_fleet_runtime(
+    config: SystemConfig,
+    assets: FleetAssets,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> FleetRuntime:
     """Construct the Cloud, scheduler, and nodes for one system variant."""
     scenario = assets.scenario
     base = scenario.base
@@ -452,6 +463,7 @@ def build_fleet_runtime(config: SystemConfig, assets: FleetAssets) -> FleetRunti
         deployed_net=deployed_net,
         nodes=nodes,
         cloud_diagnoser=cloud_diagnoser,
+        metrics=metrics,
     )
 
 
@@ -490,7 +502,7 @@ def cloud_initialize(
         {"stage": stage_index, "images": len(pool), "epochs": base.init_epochs},
     )
     push = model_state_bytes(version_state)
-    return CloudStageOutcome(
+    outcome = CloudStageOutcome(
         pooled_for_training=len(pool),
         updated=True,
         promoted=True,
@@ -499,6 +511,8 @@ def cloud_initialize(
         push_bytes_per_node={i: push for i in all_node_ids},
         push_unit_bytes=push,
     )
+    _record_cloud_metrics(runtime, outcome, kind="init")
+    return outcome
 
 
 def cloud_try_update(
@@ -537,7 +551,7 @@ def cloud_try_update(
         outcome.modeled_cloud_energy_j += cloud.cost_model.training_energy_j(
             scan_s
         )
-        flags = runtime.cloud_diagnoser.flags(pool)
+        flags = runtime.cloud_diagnoser.diagnose(pool)
         train_data = pool.subset(np.flatnonzero(flags))
     if len(train_data):
         rollout = scheduler.rollout(
@@ -561,7 +575,35 @@ def cloud_try_update(
         outcome.push_unit_bytes = push
         for event in rollout.events:
             outcome.push_bytes_per_node[event.node_id] += push
+        _record_cloud_metrics(runtime, outcome, kind="rollout")
     return outcome
+
+
+def _record_cloud_metrics(
+    runtime: FleetRuntime, outcome: CloudStageOutcome, *, kind: str
+) -> None:
+    """Account one Cloud update in the runtime's registry (if any).
+
+    Everything recorded here derives from modeled (virtual) cost and
+    pooled counts, so the dump is identical across reruns and worker
+    counts.
+    """
+    m = runtime.metrics
+    if m is None:
+        return
+    sys_id = runtime.config.system_id
+    m.counter("cloud.updates", kind=kind, system=sys_id).inc()
+    if outcome.promoted:
+        m.counter("cloud.promotions", system=sys_id).inc()
+    m.counter("cloud.train_images", system=sys_id).inc(
+        outcome.pooled_for_training
+    )
+    m.histogram("cloud.update_time_s", system=sys_id).observe(
+        outcome.modeled_update_time_s
+    )
+    m.counter("cloud.push_bytes", system=sys_id).inc(
+        sum(outcome.push_bytes_per_node.values())
+    )
 
 
 def reseed_diagnoser(
@@ -591,6 +633,48 @@ def reseed_diagnoser(
         sampler.rng = np.random.default_rng(children[1])
 
 
+def _node_stage_records(
+    node_report,
+    *,
+    stage_index: int,
+    node_id: int,
+    system_id: str,
+    t0: float,
+) -> list[TraceRecord]:
+    """Trace records for one node's stage, stamped at virtual time ``t0``.
+
+    A module function (not a :class:`Tracer` method) so pool workers build
+    the very same records and ship them home alongside the
+    :class:`NodeReport`; the parent merges the per-(node, stage) buffers in
+    fixed node order, making the trace bytes identical for every worker
+    count.
+    """
+    compute_s = node_report.inference_time_s + node_report.diagnosis_time_s
+    return [
+        make_span(
+            "node",
+            "compute",
+            t0,
+            t0 + compute_s,
+            node=node_id,
+            stage=stage_index,
+            system=system_id,
+            inference_s=node_report.inference_time_s,
+            diagnosis_s=node_report.diagnosis_time_s,
+        ),
+        make_event(
+            "node",
+            "diagnosis",
+            t0 + compute_s,
+            node=node_id,
+            stage=stage_index,
+            system=system_id,
+            acquired=node_report.acquired_images,
+            flagged=node_report.flagged_images,
+        ),
+    ]
+
+
 # Per-process state for fleet worker processes, set up once by
 # _fleet_worker_init and reused by every _fleet_worker_stage task.
 _WORKER_STATE: dict = {}
@@ -602,16 +686,18 @@ def _fleet_worker_init(config: SystemConfig, assets: FleetAssets) -> None:
 
 
 def _fleet_worker_stage(
-    task: tuple[int, int, dict[str, np.ndarray]]
-) -> tuple[int, "NodeReport"]:
+    task: tuple[int, int, dict[str, np.ndarray], float | None]
+) -> tuple[int, "NodeReport", list[TraceRecord] | None]:
     """Run one node's stage in a worker process.
 
     The active model state rides along in the task so workers never hold
     stale versions; diagnosis randomness is reseeded per (node, stage), so
     the result is bit-identical to the serial path regardless of which
-    worker runs which task.
+    worker runs which task.  ``trace_t0`` (the stage's virtual start time)
+    is non-None only when the parent is tracing; the worker then returns
+    its own trace buffer for deterministic merging.
     """
-    node_index, stage_index, active_state = task
+    node_index, stage_index, active_state, trace_t0 = task
     runtime = _WORKER_STATE["runtime"]
     assets = _WORKER_STATE["assets"]
     runtime.deployed_net.load_state_dict(active_state)
@@ -623,9 +709,21 @@ def _fleet_worker_stage(
         profile.node_id,
         stage_index,
     )
-    return node_index, node.process_stage(
+    node_report = node.process_stage(
         assets.node_stages[node_index][stage_index]
     )
+    records = (
+        _node_stage_records(
+            node_report,
+            stage_index=stage_index,
+            node_id=profile.node_id,
+            system_id=runtime.config.system_id,
+            t0=trace_t0,
+        )
+        if trace_t0 is not None
+        else None
+    )
+    return node_index, node_report, records
 
 
 def run_fleet(
@@ -633,6 +731,8 @@ def run_fleet(
     assets: FleetAssets,
     *,
     workers: int = 1,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> FleetReport:
     """Replay the whole fleet schedule for one system variant.
 
@@ -640,11 +740,17 @@ def run_fleet(
     spawn-based process pool.  Results are keyed by node index and merged
     in fixed node order, and all diagnosis randomness is seeded per
     (node, stage), so every worker count produces bit-identical reports.
+
+    ``tracer`` collects virtual-time spans for the whole run (stage spans
+    are stamped from the reconstructed lockstep timeline, so the stream is
+    byte-identical across worker counts); ``metrics`` threads a registry
+    through the runtime and the ambient :func:`repro.obs.metrics.use`
+    scope.  Both default to off with zero overhead.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     uplink = SharedUplink(assets.scenario.backhaul_bps)
-    runtime = build_fleet_runtime(config, assets)
+    runtime = build_fleet_runtime(config, assets, metrics=metrics)
     executor = (
         ProcessPoolExecutor(
             max_workers=workers,
@@ -656,9 +762,10 @@ def run_fleet(
         else None
     )
     try:
-        return _run_fleet_schedule(
-            config, assets, runtime, uplink, executor
-        )
+        with obs_metrics.use(metrics):
+            return _run_fleet_schedule(
+                config, assets, runtime, uplink, executor, tracer=tracer
+            )
     finally:
         if executor is not None:
             executor.shutdown()
@@ -670,6 +777,8 @@ def _run_fleet_schedule(
     runtime: FleetRuntime,
     uplink: SharedUplink,
     executor: ProcessPoolExecutor | None,
+    *,
+    tracer: Tracer | None = None,
 ) -> FleetReport:
     scenario = assets.scenario
     base = scenario.base
@@ -683,9 +792,16 @@ def _run_fleet_schedule(
     report.nodes = [NodeTrajectory(profile=p) for p in profiles]
     all_node_ids = tuple(p.node_id for p in profiles)
     num_stages = len(assets.node_stages[0])
+    tracing = tracer is not None and tracer.enabled
+    # Virtual stage cursor: spans are stamped from the same barrier
+    # timeline lockstep_timeline() reconstructs, so the trace stream is a
+    # pure function of the report — identical for any worker count.
+    cursor = 0.0
 
     for s in range(num_stages):
         is_initial = s == 0
+        stage_start = cursor
+        trace_t0 = stage_start if tracing else None
         active_state = (
             registry.active.state if len(registry) else assets.initial_state
         )
@@ -699,16 +815,37 @@ def _run_fleet_schedule(
                     profiles[i].node_id,
                     s,
                 )
-                node_reports.append(
-                    runtime.nodes[i].process_stage(assets.node_stages[i][s])
+                node_report = runtime.nodes[i].process_stage(
+                    assets.node_stages[i][s]
                 )
+                node_reports.append(node_report)
+                if tracing:
+                    tracer.extend(
+                        _node_stage_records(
+                            node_report,
+                            stage_index=s,
+                            node_id=profiles[i].node_id,
+                            system_id=config.system_id,
+                            t0=stage_start,
+                        )
+                    )
         else:
             futures = [
-                executor.submit(_fleet_worker_stage, (i, s, active_state))
+                executor.submit(
+                    _fleet_worker_stage, (i, s, active_state, trace_t0)
+                )
                 for i in range(len(profiles))
             ]
-            by_index = dict(f.result() for f in futures)
-            node_reports = [by_index[i] for i in range(len(profiles))]
+            by_index = {}
+            for future in futures:
+                node_index, node_report, records = future.result()
+                by_index[node_index] = (node_report, records)
+            node_reports = []
+            for i in range(len(profiles)):
+                node_report, records = by_index[i]
+                node_reports.append(node_report)
+                if tracing and records is not None:
+                    tracer.extend(records)
         # Systems without node-side diagnosis ship the raw stage data, not
         # the flagged subset; stage 0 is the initialization upload for all.
         uploads: list[Dataset] = []
@@ -730,6 +867,23 @@ def _run_fleet_schedule(
             for i in range(len(profiles))
         ]
         upload_times, makespan = uplink.stage_upload_times(transfers)
+        compute_times = [
+            r.inference_time_s + r.diagnosis_time_s for r in node_reports
+        ]
+        uploads_start = stage_start + max(compute_times, default=0.0)
+        if tracing:
+            for i, profile in enumerate(profiles):
+                if upload_counts[i]:
+                    tracer.span(
+                        "net",
+                        "upload",
+                        uploads_start,
+                        uploads_start + upload_times[i],
+                        node=profile.node_id,
+                        stage=s,
+                        system=config.system_id,
+                        bytes=transfers[i].num_bytes,
+                    )
 
         fleet_accuracy = float(
             np.mean([r.accuracy_before_update for r in node_reports])
@@ -761,6 +915,51 @@ def _run_fleet_schedule(
                 all_node_ids=all_node_ids,
             )
         push_bytes_per_node = outcome.push_bytes_per_node
+
+        # --- stage timeline tail: cloud update, then model push-down ---
+        update_start = uploads_start + makespan
+        update_end = update_start + outcome.modeled_update_time_s
+        push_times = {
+            p.node_id: p.link.model_push_time_s(
+                push_bytes_per_node[p.node_id]
+            )
+            for p in profiles
+        }
+        if tracing:
+            if outcome.modeled_update_time_s > 0:
+                tracer.span(
+                    "cloud",
+                    "init" if is_initial else "update",
+                    update_start,
+                    update_end,
+                    stage=s,
+                    system=config.system_id,
+                    pooled=outcome.pooled_for_training,
+                    promoted=outcome.promoted,
+                )
+            tracer.event(
+                "cloud",
+                "decision",
+                update_end,
+                stage=s,
+                system=config.system_id,
+                updated=outcome.updated,
+                promoted=outcome.promoted,
+            )
+            for profile in profiles:
+                down_bytes = push_bytes_per_node[profile.node_id]
+                if down_bytes:
+                    tracer.span(
+                        "net",
+                        "push",
+                        update_end,
+                        update_end + push_times[profile.node_id],
+                        node=profile.node_id,
+                        stage=s,
+                        system=config.system_id,
+                        bytes=down_bytes,
+                    )
+        cursor = update_end + max(push_times.values(), default=0.0)
 
         # --- downlink accounting --------------------------------------
         push_energies = {
@@ -822,6 +1021,29 @@ def _run_fleet_schedule(
                 download_bytes=stage_download_bytes,
             )
         )
+        m = runtime.metrics
+        if m is not None:
+            sys_id = config.system_id
+            m.counter("fleet.stages", system=sys_id).inc()
+            m.counter("fleet.images.acquired", system=sys_id).inc(
+                sum(r.acquired_images for r in node_reports)
+            )
+            m.counter("fleet.images.flagged", system=sys_id).inc(
+                sum(r.flagged_images for r in node_reports)
+            )
+            m.counter("fleet.images.uploaded", system=sys_id).inc(
+                sum(upload_counts)
+            )
+            hist = m.histogram("fleet.upload_time_s", system=sys_id)
+            for t in upload_times:
+                hist.observe(t)
+            snap = report.ledger.snapshot()
+            m.gauge("fleet.bytes.uploaded", system=sys_id).set(
+                snap.uploaded_bytes
+            )
+            m.gauge("fleet.bytes.downloaded", system=sys_id).set(
+                snap.downloaded_bytes
+            )
     report.rollouts = list(scheduler.history)
     return report
 
@@ -830,10 +1052,19 @@ def run_fleet_all_systems(
     scenario: FleetScenario,
     *,
     workers: int = 1,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, FleetReport]:
-    """Run every Fig. 24 variant over the same fleet, data, and weights."""
+    """Run every Fig. 24 variant over the same fleet, data, and weights.
+
+    A shared ``tracer``/``metrics`` collects all four variants into one
+    stream; every record carries a ``system`` attribute or label, so the
+    variants stay separable downstream.
+    """
     assets = prepare_fleet_assets(scenario)
     return {
-        config.system_id: run_fleet(config, assets, workers=workers)
+        config.system_id: run_fleet(
+            config, assets, workers=workers, tracer=tracer, metrics=metrics
+        )
         for config in SYSTEMS
     }

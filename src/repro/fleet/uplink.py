@@ -67,16 +67,24 @@ class SharedUplink:
             raise ValueError("capacity must be positive")
         self.capacity_bps = capacity_bps
 
-    def open(self, sim: Simulator, *, downlink: bool = False) -> FlowLink:
+    def open(
+        self, sim: Simulator, *, downlink: bool = False, metrics=None
+    ) -> FlowLink:
         """Bind a dynamic-flow view of this backhaul to an event kernel.
 
         The asynchronous fleet opens one :class:`FlowLink` per direction
         (the backhaul is modeled symmetric, each direction at full
         capacity); per-flow caps come from each node's access link —
         ``bandwidth_bps`` upstream, ``downlink_bps`` for model pushes.
+        ``metrics`` threads an optional registry into the link so flow
+        counts, queue depth, and throughput are recorded per direction.
         """
-        del downlink  # directions are symmetric; kept for call-site clarity
-        return FlowLink(sim, self.capacity_bps)
+        return FlowLink(
+            sim,
+            self.capacity_bps,
+            metrics=metrics,
+            name="downlink" if downlink else "uplink",
+        )
 
     def transfer_times(self, transfers: list[Transfer]) -> list[float]:
         """Per-transfer completion times for concurrent flows.

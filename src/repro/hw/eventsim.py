@@ -20,6 +20,8 @@ from repro.events import Simulator, Store
 from repro.hw.pipeline import PipelineDesign, pipeline_timing
 from repro.hw.specs import FPGASpec
 from repro.models.layer_specs import NetworkSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 __all__ = ["ImageTrace", "PipelineSimResult", "simulate_pipeline"]
 
@@ -92,6 +94,8 @@ def simulate_pipeline(
     *,
     num_images: int = 64,
     arrival_interval_s: float = 0.0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> PipelineSimResult:
     """Run ``num_images`` through the two-stage pipeline.
 
@@ -100,6 +104,10 @@ def simulate_pipeline(
     conv time and per-batch FCN time come from the same layer models the
     analytical pipeline uses, so any disagreement is purely about stage
     overlap, not about layer costs.
+
+    ``tracer`` records per-image conv spans and per-batch FCN spans at
+    kernel virtual time; ``metrics`` accumulates image counts and the
+    per-image latency distribution.  Both default to off.
     """
     if num_images < 1:
         raise ValueError("num_images must be >= 1")
@@ -109,6 +117,7 @@ def simulate_pipeline(
     conv_per_image = timing.conv_stage_s / design.batch_size
     fcn_per_batch = timing.fcn_stage_s
     batch = design.batch_size
+    trace = tracer if tracer is not None else Tracer(enabled=False)
 
     sim = Simulator()
     handoff: Store = Store(sim)
@@ -123,6 +132,9 @@ def simulate_pipeline(
                 yield sim.timeout(arrival - sim.now)
             conv_start = max(sim.now, arrival)
             yield sim.timeout(conv_per_image)
+            trace.span(
+                "hw", "conv", conv_start, sim.now, image=index
+            )
             pending.append((index, arrival, conv_start, sim.now))
             if len(pending) == batch or index == num_images - 1:
                 # Whole batch hands off to the FCN stage together; the
@@ -131,10 +143,19 @@ def simulate_pipeline(
                 pending = []
 
     def fcn_stage():
-        for _ in range(num_batches):
+        for batch_index in range(num_batches):
             batch_images = yield handoff.get()
+            fcn_start = sim.now
             yield sim.timeout(fcn_per_batch)
             fcn_done = sim.now
+            trace.span(
+                "hw",
+                "fcn",
+                fcn_start,
+                fcn_done,
+                batch=batch_index,
+                images=len(batch_images),
+            )
             for img_index, img_arrival, img_cstart, img_cdone in batch_images:
                 traces.append(
                     ImageTrace(
@@ -149,4 +170,11 @@ def simulate_pipeline(
     sim.process(conv_stage())
     sim.process(fcn_stage())
     makespan = sim.run()
-    return PipelineSimResult(traces=traces, makespan_s=makespan)
+    result = PipelineSimResult(traces=traces, makespan_s=makespan)
+    if metrics is not None:
+        metrics.counter("pipeline.images").inc(result.images)
+        metrics.counter("pipeline.batches").inc(num_batches)
+        hist = metrics.histogram("pipeline.latency_s")
+        for t in result.traces:
+            hist.observe(t.latency_s)
+    return result

@@ -253,10 +253,11 @@ _register(
 
 
 # ---------------------------------------------------------------------------
-# RPR002 — no wall-clock / OS-entropy sources in simulation code
+# RPR002 — no OS-entropy sources in simulation code
+# RPR011 — wall-clock reads only inside repro.obs.clock
 
 
-_WALLCLOCK_CALLS = {
+_TIMING_CALLS = {
     "time.time",
     "time.time_ns",
     "time.perf_counter",
@@ -269,6 +270,8 @@ _WALLCLOCK_CALLS = {
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
     "datetime.date.today",
+}
+_ENTROPY_CALLS = {
     "os.urandom",
     "os.getrandom",
     "uuid.uuid1",
@@ -276,11 +279,15 @@ _WALLCLOCK_CALLS = {
 }
 _ENTROPY_PREFIXES = ("random.", "secrets.")
 
+#: The one module where stdlib timing calls are sanctioned: every
+#: wall-time consumer routes through its helpers (see DESIGN.md §9).
+_OBS_CLOCK_MODULE = "repro.obs.clock"
 
-class _NoWallClockEntropy(Rule):
+
+class _NoEntropy(Rule):
     def applies(self, ctx: "FileContext") -> bool:
-        # The general wall-clock/entropy ban is a production-code rule;
-        # the argless-default_rng check below runs everywhere.
+        # The general OS-entropy ban is a production-code rule; the
+        # argless-default_rng check below runs everywhere.
         return True
 
     def check(self, ctx: "FileContext") -> Iterator["Finding"]:
@@ -306,31 +313,72 @@ class _NoWallClockEntropy(Rule):
                 continue
             if not in_src:
                 continue
-            if qualified in _WALLCLOCK_CALLS or qualified.startswith(
+            if qualified in _ENTROPY_CALLS or qualified.startswith(
                 _ENTROPY_PREFIXES
             ):
                 yield self.finding(
                     ctx,
                     node,
-                    f"wall-clock/entropy source `{qualified}` in "
-                    "simulation code: simulated time comes from the event "
-                    "kernel, randomness from seeded Generators",
+                    f"OS-entropy source `{qualified}` in simulation code: "
+                    "all randomness derives from seeded Generators",
                 )
 
 
 _register(
-    _NoWallClockEntropy(
+    _NoEntropy(
         code="RPR002",
-        name="no-wallclock-entropy",
+        name="no-os-entropy",
         summary=(
-            "ban wall-clock and OS-entropy sources inside src/repro; ban "
-            "argless default_rng() everywhere"
+            "ban OS-entropy sources inside src/repro; ban argless "
+            "default_rng() everywhere"
         ),
         rationale=(
-            "one unseeded draw or wall-clock read breaks bit-identical "
-            "trajectories across reruns, worker counts, and CI machines"
+            "one unseeded draw breaks bit-identical trajectories across "
+            "reruns, worker counts, and CI machines"
         ),
         scope="src/repro (argless default_rng: all files)",
+    )
+)
+
+
+class _WallClockViaObsClock(Rule):
+    def applies(self, ctx: "FileContext") -> bool:
+        # obs.clock is the sanctioned wrapper — the exception that keeps
+        # every other module honest.
+        return ctx.in_module("repro") and ctx.module != _OBS_CLOCK_MODULE
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualify(node.func)
+            if qualified in _TIMING_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{qualified}` outside "
+                    f"{_OBS_CLOCK_MODULE}: simulated time comes from the "
+                    "event kernel; host timings route through the "
+                    "sanctioned repro.obs.clock helpers so they stay in "
+                    "the segregated observability channel",
+                )
+
+
+_register(
+    _WallClockViaObsClock(
+        code="RPR011",
+        name="wallclock-via-obs-clock",
+        summary=(
+            "wall-clock / perf_counter calls are sanctioned only inside "
+            "repro.obs.clock"
+        ),
+        rationale=(
+            "a stray wall-clock read either leaks host time into "
+            "simulated state (breaking bit-identical trajectories) or "
+            "scatters unauditable timing exceptions; one wrapper module "
+            "keeps the exception list greppable"
+        ),
+        scope="src/repro, excluding repro.obs.clock",
     )
 )
 

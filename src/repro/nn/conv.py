@@ -22,6 +22,7 @@ from repro.nn.base import Layer, Shape
 from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.init import he_normal
 from repro.nn.tensor import Parameter
+from repro.obs.profile import profiled
 
 __all__ = ["Conv2D"]
 
@@ -144,11 +145,13 @@ class Conv2D(Layer):
         out_w = conv_output_size(width, self.kernel, self.stride, self.pad)
         return (self.out_channels, out_h, out_w)
 
+    @profiled("conv.forward")
     def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
         if self.groups == 1:
             return self._forward_dense(x, training=training)
         return self._forward_grouped(x, training=training)
 
+    @profiled("conv.backward")
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError(

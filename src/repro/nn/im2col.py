@@ -32,6 +32,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.obs.profile import profiled
+
 __all__ = ["conv_output_size", "im2col", "col2im"]
 
 #: kernels at least this wide use the single-copy sliding-window gather;
@@ -60,6 +62,7 @@ def _check_buffer(
         )
 
 
+@profiled("nn.im2col")
 def im2col(
     images: np.ndarray,
     kernel: int,
@@ -125,6 +128,7 @@ def im2col(
     return out
 
 
+@profiled("nn.col2im")
 def col2im(
     cols: np.ndarray,
     image_shape: tuple[int, int, int, int],

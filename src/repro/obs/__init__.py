@@ -1,0 +1,67 @@
+"""repro.obs — deterministic observability: tracing, metrics, profiling.
+
+Three pillars, one contract:
+
+* :class:`Tracer` — typed span/event records stamped with *virtual*
+  time, exported as JSONL (schema v1) or Chrome ``trace_event``.  Same
+  seed -> byte-identical trace bytes, across fleet modes and worker
+  counts.
+* :class:`MetricsRegistry` — process-local counters/gauges/fixed-bucket
+  histograms; the serialized dump is equally deterministic.
+* :func:`profiled` / :func:`profile_section` — opt-in wall-time hooks on
+  the hot paths, a guaranteed near-no-op while disabled.
+
+Wall-clock access is confined to :mod:`repro.obs.clock` (lint rule
+RPR011 enforces this), keeping host time out of every simulated code
+path.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import active as active_metrics
+from repro.obs.metrics import use as use_metrics
+from repro.obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    profile_section,
+    profile_stats,
+    profiled,
+    profiling_enabled,
+    reset_profiling,
+)
+from repro.obs.trace import (
+    TraceRecord,
+    Tracer,
+    chrome_trace,
+    make_event,
+    make_span,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecord",
+    "Tracer",
+    "active_metrics",
+    "chrome_trace",
+    "disable_profiling",
+    "enable_profiling",
+    "make_event",
+    "make_span",
+    "profile_section",
+    "profile_stats",
+    "profiled",
+    "profiling_enabled",
+    "read_jsonl",
+    "reset_profiling",
+    "use_metrics",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro obs`` — summarize and convert trace files.
+
+Subcommands:
+
+``summarize TRACE``
+    One-screen timeline summary: record counts, the virtual-time
+    window, per-category busy time, and per-node activity.
+
+``convert TRACE -o OUT [--format chrome]``
+    Re-export a schema-v1 JSONL trace, e.g. to the Chrome
+    ``trace_event`` format that ``chrome://tracing`` / Perfetto open.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import defaultdict
+
+from repro.obs.trace import TraceRecord, chrome_trace, read_jsonl
+
+__all__ = ["main", "summarize"]
+
+
+def _attr(record: TraceRecord, key: str):
+    for k, v in record.attrs:
+        if k == key:
+            return v
+    return None
+
+
+def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
+    """Render a one-screen text summary of a trace."""
+    if not records:
+        return "empty trace (0 records)\n"
+    spans = [r for r in records if r.kind == "span"]
+    events = [r for r in records if r.kind == "event"]
+    t_lo = min(r.t0 for r in records)
+    t_hi = max(r.t1 if r.t1 is not None else r.t0 for r in records)
+
+    by_cat: dict[str, dict] = defaultdict(
+        lambda: {"spans": 0, "events": 0, "busy": 0.0}
+    )
+    by_node: dict[int, dict] = defaultdict(lambda: {"spans": 0, "busy": 0.0})
+    for r in records:
+        row = by_cat[f"{r.cat}.{r.name}"]
+        if r.kind == "span":
+            row["spans"] += 1
+            row["busy"] += r.duration_s
+        else:
+            row["events"] += 1
+        node = _attr(r, "node")
+        if node is not None and r.kind == "span":
+            by_node[int(node)]["spans"] += 1
+            by_node[int(node)]["busy"] += r.duration_s
+
+    lines = [
+        f"records: {len(records)} ({len(spans)} spans, {len(events)} events)",
+        f"virtual window: {t_lo:.3f} .. {t_hi:.3f} s "
+        f"({t_hi - t_lo:.3f} s)",
+        "",
+        f"{'category':<24} {'spans':>6} {'events':>7} {'busy s':>10}",
+    ]
+    ranked = sorted(
+        by_cat.items(), key=lambda kv: (-kv[1]["busy"], kv[0])
+    )
+    for cat, row in ranked[:limit]:
+        lines.append(
+            f"{cat:<24} {row['spans']:>6} {row['events']:>7} "
+            f"{row['busy']:>10.3f}"
+        )
+    if len(ranked) > limit:
+        lines.append(f"... {len(ranked) - limit} more categories")
+    if by_node:
+        lines += ["", f"{'node':<6} {'spans':>6} {'busy s':>10} {'busy %':>8}"]
+        window = max(t_hi - t_lo, 1e-12)
+        for node in sorted(by_node):
+            row = by_node[node]
+            lines.append(
+                f"{node:<6} {row['spans']:>6} {row['busy']:>10.3f} "
+                f"{100.0 * row['busy'] / window:>7.1f}%"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Summarize or convert repro trace files (schema v1).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="one-screen timeline summary")
+    p_sum.add_argument("trace", help="JSONL trace file (schema v1)")
+    p_sum.add_argument(
+        "--limit",
+        type=int,
+        default=12,
+        help="max category rows to print (default: 12)",
+    )
+
+    p_conv = sub.add_parser("convert", help="re-export a trace file")
+    p_conv.add_argument("trace", help="JSONL trace file (schema v1)")
+    p_conv.add_argument(
+        "-o", "--out", required=True, help="output file path"
+    )
+    p_conv.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="output format (default: chrome trace_event)",
+    )
+
+    args = parser.parse_args(argv)
+    records = read_jsonl(args.trace)
+    if args.command == "summarize":
+        if args.limit < 1:
+            parser.error("--limit must be at least 1")
+        print(summarize(records, limit=args.limit), end="")
+        return 0
+    if args.format == "chrome":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(records), fh, sort_keys=True)
+            fh.write("\n")
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(record.to_json() + "\n")
+    print(f"wrote {args.format} trace: {args.out} ({len(records)} records)")
+    return 0

@@ -1,0 +1,250 @@
+"""Structured tracing: typed span/event records with deterministic export.
+
+Schema v1 (one JSON object per line, keys sorted):
+
+``{"attrs": {...}, "cat": "...", "kind": "span"|"event", "name": "...",
+"t0": <virtual s>, "t1": <virtual s>|null, "v": 1}``
+
+Timestamps are **virtual** seconds: lockstep spans are stamped from the
+reconstructed stage timeline, event-mode spans from the kernel clock
+(``Simulator.now``).  Two runs at the same seed therefore produce
+byte-identical JSONL — that is a tested invariant, across lockstep,
+event mode, and any ``workers=N``.
+
+Wall-clock stamps are the one legal nondeterminism: a tracer built with
+``wall_clock=True`` stamps each record's emission with
+:func:`repro.obs.clock.wall_time`, but those stamps live in a separate
+optional channel (``channel="wall"``) and never contaminate the virtual
+channel's bytes.
+
+The Chrome exporter emits the ``trace_event`` JSON array format —
+complete (``ph: "X"``) and instant (``ph: "i"``) events in microseconds
+— which ``chrome://tracing`` and Perfetto open directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.clock import wall_time
+
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "chrome_trace",
+    "make_event",
+    "make_span",
+    "read_jsonl",
+]
+
+_Attrs = tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One span (``t1`` set) or instant event (``t1`` None).
+
+    Frozen and tuple-keyed so records pickle cleanly across the fleet's
+    spawn-based worker pool and merge deterministically in the parent.
+    """
+
+    kind: str  # "span" | "event"
+    cat: str
+    name: str
+    t0: float
+    t1: float | None
+    attrs: _Attrs = ()
+    wall: float | None = None  # emission wall stamp; wall channel only
+
+    def to_obj(self, *, channel: str = "virtual") -> dict:
+        obj = {
+            "v": 1,
+            "kind": self.kind,
+            "cat": self.cat,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": dict(self.attrs),
+        }
+        if channel == "wall":
+            obj["wall"] = self.wall
+        return obj
+
+    def to_json(self, *, channel: str = "virtual") -> str:
+        return json.dumps(
+            self.to_obj(channel=channel), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+
+def _freeze_attrs(attrs: dict[str, object]) -> _Attrs:
+    return tuple(sorted(attrs.items()))
+
+
+def make_span(
+    cat: str, name: str, t0: float, t1: float, **attrs
+) -> TraceRecord:
+    """Build a span record without a :class:`Tracer` (worker processes)."""
+    if t1 < t0:
+        raise ValueError(f"span {cat}/{name}: t1 {t1} precedes t0 {t0}")
+    return TraceRecord(
+        kind="span",
+        cat=cat,
+        name=name,
+        t0=float(t0),
+        t1=float(t1),
+        attrs=_freeze_attrs(attrs),
+    )
+
+
+def make_event(cat: str, name: str, t: float, **attrs) -> TraceRecord:
+    """Build an instant-event record without a :class:`Tracer`."""
+    return TraceRecord(
+        kind="event",
+        cat=cat,
+        name=name,
+        t0=float(t),
+        t1=None,
+        attrs=_freeze_attrs(attrs),
+    )
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` objects for one run.
+
+    ``enabled=False`` makes every emit a cheap no-op returning ``None``,
+    so instrumented code can hold a disabled tracer instead of branching
+    on ``tracer is not None`` everywhere.
+    """
+
+    enabled: bool = True
+    wall_clock: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def span(
+        self, cat: str, name: str, t0: float, t1: float, **attrs
+    ) -> TraceRecord | None:
+        if not self.enabled:
+            return None
+        record = make_span(cat, name, t0, t1, **attrs)
+        if self.wall_clock:
+            record = TraceRecord(
+                kind=record.kind,
+                cat=record.cat,
+                name=record.name,
+                t0=record.t0,
+                t1=record.t1,
+                attrs=record.attrs,
+                wall=wall_time(),
+            )
+        self.records.append(record)
+        return record
+
+    def event(
+        self, cat: str, name: str, t: float, **attrs
+    ) -> TraceRecord | None:
+        if not self.enabled:
+            return None
+        record = make_event(cat, name, t, **attrs)
+        if self.wall_clock:
+            record = TraceRecord(
+                kind=record.kind,
+                cat=record.cat,
+                name=record.name,
+                t0=record.t0,
+                t1=None,
+                attrs=record.attrs,
+                wall=wall_time(),
+            )
+        self.records.append(record)
+        return record
+
+    def extend(self, records) -> None:
+        """Merge records emitted elsewhere (worker-process buffers)."""
+        if self.enabled:
+            self.records.extend(records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, *, channel: str = "virtual") -> str:
+        if channel not in ("virtual", "wall"):
+            raise ValueError("channel must be 'virtual' or 'wall'")
+        return "".join(
+            r.to_json(channel=channel) + "\n" for r in self.records
+        )
+
+    def write_jsonl(self, path, *, channel: str = "virtual") -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl(channel=channel))
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(self.records), fh, sort_keys=True)
+            fh.write("\n")
+
+
+def _tid(record: TraceRecord) -> int:
+    for key, value in record.attrs:
+        if key == "node":
+            return int(value)
+    return 0
+
+
+def chrome_trace(records) -> dict:
+    """Records -> Chrome ``trace_event`` object (times in microseconds).
+
+    Rows (tids) map to node ids where a record carries a ``node`` attr;
+    cloud/link records land on tid 0.
+    """
+    events = []
+    for r in records:
+        base = {
+            "name": r.name,
+            "cat": r.cat,
+            "ts": r.t0 * 1e6,
+            "pid": 0,
+            "tid": _tid(r),
+            "args": dict(r.attrs),
+        }
+        if r.kind == "span":
+            events.append({**base, "ph": "X", "dur": (r.t1 - r.t0) * 1e6})
+        else:
+            events.append({**base, "ph": "i", "s": "t"})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def read_jsonl(path) -> list[TraceRecord]:
+    """Load a schema-v1 JSONL trace back into records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("v") != 1:
+                raise ValueError(
+                    f"{path}:{line_no}: unsupported trace schema "
+                    f"version {obj.get('v')!r}"
+                )
+            records.append(
+                TraceRecord(
+                    kind=obj["kind"],
+                    cat=obj["cat"],
+                    name=obj["name"],
+                    t0=obj["t0"],
+                    t1=obj["t1"],
+                    attrs=_freeze_attrs(obj.get("attrs", {})),
+                    wall=obj.get("wall"),
+                )
+            )
+    return records

@@ -222,7 +222,13 @@ def _render_specs() -> str:
 
 
 def _render_fleet(
-    num_nodes: int, policy: str, seed: int, *, workers: int = 1
+    num_nodes: int,
+    policy: str,
+    seed: int,
+    *,
+    workers: int = 1,
+    tracer=None,
+    metrics=None,
 ) -> str:
     """Beyond the paper: the four Fig. 24 variants at fleet scale."""
     from repro.fleet import (
@@ -237,7 +243,9 @@ def _render_fleet(
         scheduler_policy=policy,
         seed=seed,
     )
-    results = run_fleet_all_systems(scenario, workers=workers)
+    results = run_fleet_all_systems(
+        scenario, workers=workers, tracer=tracer, metrics=metrics
+    )
     mb = 1e6
     aggregate = format_table(
         f"Fleet ({num_nodes} nodes, policy={policy}) — aggregate movement "
@@ -298,7 +306,13 @@ def _render_fleet(
 
 
 def _render_fleet_event(
-    num_nodes: int, policy: str, seed: int, horizon: float | None
+    num_nodes: int,
+    policy: str,
+    seed: int,
+    horizon: float | None,
+    *,
+    tracer=None,
+    metrics=None,
 ) -> str:
     """Event-driven fleet: asynchronous epochs, dynamic uplink flows."""
     from repro.core.systems import SYSTEMS
@@ -317,7 +331,9 @@ def _render_fleet_event(
     )
     assets = prepare_fleet_assets(scenario)
     results = {
-        config.system_id: run_fleet_event(config, assets, horizon_s=horizon)
+        config.system_id: run_fleet_event(
+            config, assets, horizon_s=horizon, tracer=tracer, metrics=metrics
+        )
         for config in SYSTEMS
     }
     mb = 1e6
@@ -450,6 +466,31 @@ def main(argv: list[str] | None = None) -> int:
             "bit-identical results)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a virtual-time trace of the 'fleet' experiment to PATH "
+            "(schema-v1 JSONL; see --trace-format)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help=(
+            "trace format for --trace: 'jsonl' (byte-deterministic schema "
+            "v1) or 'chrome' (trace_event JSON for chrome://tracing / "
+            "Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the 'fleet' experiment's metrics dump (JSON) to PATH",
+    )
     args = parser.parse_args(argv)
     # choices= with nargs="*" rejects the no-argument case on some
     # CPython patch releases (gh-73484), so validation happens here.
@@ -478,14 +519,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"invalid experiment {name!r} (choose from "
                 f"{', '.join(sorted(valid))})"
             )
+    if (args.trace or args.metrics) and "fleet" not in selected:
+        parser.error("--trace/--metrics only apply to the 'fleet' experiment")
     if "all" in selected:
         selected = sorted(_EXPERIMENTS)
+    tracer = None
+    metrics = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     for name in selected:
         if name == "fleet":
             if args.mode == "event":
                 print(
                     _render_fleet_event(
-                        args.nodes, args.policy, args.fleet_seed, args.horizon
+                        args.nodes,
+                        args.policy,
+                        args.fleet_seed,
+                        args.horizon,
+                        tracer=tracer,
+                        metrics=metrics,
                     )
                 )
             else:
@@ -495,9 +553,18 @@ def main(argv: list[str] | None = None) -> int:
                         args.policy,
                         args.fleet_seed,
                         workers=args.workers,
+                        tracer=tracer,
+                        metrics=metrics,
                     )
                 )
         else:
             print(_EXPERIMENTS[name]())
         print()
+    if tracer is not None:
+        if args.trace_format == "chrome":
+            tracer.write_chrome(args.trace)
+        else:
+            tracer.write_jsonl(args.trace)
+    if metrics is not None:
+        metrics.write_json(args.metrics)
     return 0

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.models import build_jigsaw_trunk, trunk_feature_size
 from repro.nn import SGD, CrossEntropyLoss
+from repro.obs import metrics as obs_metrics
 from repro.selfsup.context_net import ContextNetwork, build_context_head
 from repro.selfsup.jigsaw import JigsawSampler
 from repro.selfsup.permutations import PermutationSet
@@ -113,4 +114,12 @@ def pretrain(
         result.accuracies.append(
             permutation_accuracy(network, held_out, sampler)
         )
+    registry = obs_metrics.active()
+    if registry is not None:
+        registry.counter("pretrain.runs").inc()
+        registry.counter("pretrain.epochs").inc(epochs)
+        registry.counter("pretrain.samples").inc(result.sample_steps)
+        loss_hist = registry.histogram("pretrain.epoch_loss")
+        for loss in result.losses:
+            loss_hist.observe(loss)
     return result

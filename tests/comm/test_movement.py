@@ -51,3 +51,50 @@ class TestLedger:
         assert movement.upload_fraction == 0.5
         assert movement.uploaded_bytes == 25_000
         assert movement.stage_index == 2
+
+
+class TestRunningTotals:
+    """Totals are O(1) running counters, consistent at any point mid-run."""
+
+    def test_snapshot_freezes_midrun_totals(self, ledger):
+        ledger.record(0, acquired=100, uploaded=40)
+        first = ledger.snapshot()
+        ledger.record(1, acquired=100, uploaded=10)
+        ledger.record_download(1, 5_000)
+        second = ledger.snapshot()
+        # The first snapshot is immutable: later records don't reach it.
+        assert first.uploaded_images == 40
+        assert first.downloaded_bytes == 0
+        assert second.stages_recorded == 2
+        assert second.acquired_images == 200
+        assert second.uploaded_images == 50
+        assert second.uploaded_bytes == 50_000
+        assert second.downloaded_bytes == 5_000
+        assert second.total_bytes_moved == 55_000
+        assert second.upload_fraction == 0.25
+
+    def test_snapshot_matches_resummed_stage_list(self, ledger):
+        for i in range(5):
+            ledger.record(i, acquired=10 * (i + 1), uploaded=5 * (i + 1))
+            ledger.record_download(i, 100 * i)
+        snap = ledger.snapshot()
+        assert snap.acquired_images == sum(
+            s.acquired_images for s in ledger.stages
+        )
+        assert snap.uploaded_bytes == sum(
+            s.uploaded_bytes for s in ledger.stages
+        )
+        assert snap.downloaded_bytes == sum(
+            s.downloaded_bytes for s in ledger.stages
+        )
+
+    def test_download_without_matching_stage_still_counted(self, ledger):
+        ledger.record_download(3, 2_000)
+        assert ledger.total_downloaded_bytes == 2_000
+        assert ledger.snapshot().downloaded_bytes == 2_000
+
+    def test_empty_snapshot(self, ledger):
+        snap = ledger.snapshot()
+        assert snap.stages_recorded == 0
+        assert snap.total_bytes_moved == 0
+        assert snap.upload_fraction == 0.0

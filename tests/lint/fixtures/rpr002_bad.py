@@ -1,13 +1,11 @@
-"""Fixture: wall-clock/entropy sources in simulation code (RPR002)."""
+"""Fixture: OS-entropy sources in simulation code (RPR002)."""
 # repro-lint: module=repro.hw.fake
 
 import os
 import random
-import time
 
 import numpy as np
 
-stamp = time.time()
 jitter = random.random()
 token = os.urandom(8)
 rng = np.random.default_rng()

@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads outside ``repro.obs.clock`` (RPR011)."""
+# repro-lint: module=repro.fleet.fake
+
+import datetime
+import time
+
+stamp = time.time()
+tick = time.perf_counter()
+today = datetime.datetime.now()

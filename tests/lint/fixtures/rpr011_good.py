@@ -1,0 +1,7 @@
+"""Fixture: the sanctioned clock module may read the host clock (RPR011)."""
+# repro-lint: module=repro.obs.clock
+
+import time
+
+tick = time.perf_counter()
+stamp = time.time()

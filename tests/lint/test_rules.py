@@ -27,11 +27,12 @@ CASES = {
     "RPR008": ("bench_rpr008_bad.py", "bench_rpr008_good.py"),
     "RPR009": ("rpr009_bad.py", "rpr009_good.py"),
     "RPR010": ("rpr010_bad.py", "rpr010_good.py"),
+    "RPR011": ("rpr011_bad.py", "rpr011_good.py"),
 }
 
 EXPECTED_BAD_COUNTS = {
     "RPR001": 3,  # seed, uniform, from-import of rand
-    "RPR002": 4,  # time.time, random.random, os.urandom, argless default_rng
+    "RPR002": 3,  # random.random, os.urandom, argless default_rng
     "RPR003": 1,
     "RPR004": 3,  # dtype=np.float64, dtype=float, astype(float)
     "RPR005": 2,  # import x and from-import
@@ -40,6 +41,7 @@ EXPECTED_BAD_COUNTS = {
     "RPR008": 1,
     "RPR009": 3,  # missing reason, unknown code, malformed pragma
     "RPR010": 1,
+    "RPR011": 3,  # time.time, time.perf_counter, datetime.datetime.now
 }
 
 

@@ -1,0 +1,77 @@
+"""``python -m repro obs`` — summarize/convert round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main, summarize
+from repro.obs.trace import Tracer, read_jsonl
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    tracer = Tracer()
+    tracer.span("node", "compute", 0.0, 2.0, node=0, stage=0)
+    tracer.span("node", "compute", 0.0, 1.0, node=1, stage=0)
+    tracer.span("net", "upload", 2.0, 3.5, node=0, stage=0)
+    tracer.event("cloud", "decision", 3.5, updated=False)
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(path)
+    return path
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        assert summarize([]) == "empty trace (0 records)\n"
+
+    def test_counts_window_and_node_rows(self, trace_path):
+        text = summarize(read_jsonl(trace_path))
+        assert "records: 4 (3 spans, 1 events)" in text
+        assert "virtual window: 0.000 .. 3.500 s" in text
+        assert "node.compute" in text
+        assert "cloud.decision" in text
+
+    def test_limit_truncates_category_table(self, trace_path):
+        text = summarize(read_jsonl(trace_path), limit=1)
+        assert "more categories" in text
+
+
+class TestCli:
+    def test_summarize_command(self, trace_path, capsys):
+        assert main(["summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records: 4" in out
+
+    def test_convert_to_chrome(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["convert", str(trace_path), "-o", str(out_path)]) == 0
+        obj = json.loads(out_path.read_text())
+        assert len(obj["traceEvents"]) == 4
+
+    def test_convert_to_jsonl_is_byte_identical(self, trace_path, tmp_path):
+        out_path = tmp_path / "copy.jsonl"
+        main(
+            [
+                "convert",
+                str(trace_path),
+                "-o",
+                str(out_path),
+                "--format",
+                "jsonl",
+            ]
+        )
+        assert out_path.read_bytes() == trace_path.read_bytes()
+
+    def test_module_entry_point_dispatches_obs(self, trace_path, capsys):
+        import sys
+        from unittest import mock
+
+        from repro.__main__ import main as module_main
+
+        with mock.patch.object(
+            sys, "argv", ["repro", "obs", "summarize", str(trace_path)]
+        ):
+            assert module_main() == 0
+        assert "records: 4" in capsys.readouterr().out
