@@ -8,17 +8,27 @@ the canaries do not regress.  The second act deliberately poisons an
 update to show the canary guard refusing it: the bad model reaches the
 canary nodes, is rolled back, and never becomes a registry version.
 
-Run:  python examples/fleet_rollout.py [--trace TRACE.jsonl]
+Run:  python examples/fleet_rollout.py [--topology]
+                                       [--trace TRACE.jsonl]
                                        [--metrics METRICS.json]
+                                       [--summary-json SUMMARY.json]
 
-With ``--trace`` the run also emits a deterministic JSONL trace of the
-fleet timeline (convert with ``python -m repro obs convert``); with
-``--metrics`` it dumps the fleet/cloud/training counters.
+With ``--topology`` the eight traps report through two site gateways
+(four traps each) that batch flagged uploads into amortized WAN
+transfers, resolve a quarter of flags with a gateway-side second
+opinion, and scope the canary to gateway 0's region; the default stays
+the flat paper wiring, byte-for-byte.  With ``--trace`` the run also
+emits a deterministic JSONL trace of the fleet timeline (convert with
+``python -m repro obs convert``); with ``--metrics`` it dumps the
+fleet/cloud/training counters; ``--summary-json`` writes a
+deterministic machine-readable summary of the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 from pathlib import Path
 
 import numpy as np
@@ -46,9 +56,32 @@ def main(argv: list[str] | None = None) -> None:
         "--metrics", type=Path, default=None,
         help="write the metrics registry dump (JSON) to this path",
     )
+    parser.add_argument(
+        "--topology", action="store_true",
+        help=(
+            "route the traps through two site gateways (4 traps each) "
+            "with upload aggregation, a gateway second-opinion model, "
+            "and a regional canary"
+        ),
+    )
+    parser.add_argument(
+        "--summary-json", type=Path, default=None,
+        help="write a deterministic JSON summary of the run to this path",
+    )
     args = parser.parse_args(argv)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
+    topology = None
+    if args.topology:
+        from repro.topology import AggregationPolicy, Topology
+
+        topology = Topology.fan_out(
+            8,
+            4,
+            aggregation=AggregationPolicy(flush_images=24, max_age_stages=2),
+            second_opinion_fraction=0.25,
+            canary_gateway_id=0,
+        )
     scenario = FleetScenario(
         base=fleet_base_scenario(
             stream_scale=0.03,
@@ -76,9 +109,26 @@ def main(argv: list[str] | None = None) -> None:
     # ------------------------------------------------------------------
     assets = prepare_fleet_assets(scenario)
     report = run_fleet(
-        system_by_id("d"), assets, tracer=tracer, metrics=metrics
+        system_by_id("d"),
+        assets,
+        tracer=tracer,
+        metrics=metrics,
+        topology=topology,
     )
-    print(f"\ncanary subset: nodes {assets.canary_ids}")
+    if topology is not None:
+        print("\ngateways:")
+        for g in topology.gateways:
+            print(
+                f"  gateway {g.gateway_id}: nodes "
+                f"{','.join(str(c) for c in g.child_ids)} over "
+                f"{g.local_link_kind}, WAN {g.uplink_kind}"
+            )
+        print(f"canary region: gateway {topology.canary_gateway.gateway_id}")
+    canary_ids = (
+        topology.canary_node_ids if topology is not None
+        else assets.canary_ids
+    )
+    print(f"\ncanary subset: nodes {canary_ids}")
     for stage in report.stages:
         verdict = (
             "promoted" if stage.promoted
@@ -99,6 +149,44 @@ def main(argv: list[str] | None = None) -> None:
         f"cloud update time {report.total_update_time_s:.1f}s, "
         f"model versions {report.registry.history()}"
     )
+    if topology is not None:
+        snap = report.ledger.snapshot()
+        print(
+            f"tiers: {snap.edge_to_gateway_bytes / 1e6:.0f} MB edge->gateway "
+            f"({snap.edge_transfer_events} transfers), "
+            f"{snap.gateway_to_cloud_bytes / 1e6:.0f} MB gateway->cloud "
+            f"({snap.wan_transfer_events} flushes, "
+            f"{snap.transfer_overhead_bytes / 1e3:.0f} kB framing); "
+            f"second opinion resolved "
+            f"{sum(g.resolved_images for g in report.gateway_stages)} imgs "
+            "at the gateways"
+        )
+
+    if args.summary_json is not None:
+        summary = {
+            "mode": "topology" if topology is not None else "flat",
+            "final_accuracy": report.final_accuracy,
+            "ledger": dataclasses.asdict(report.ledger.snapshot()),
+            "rollouts": [
+                {
+                    "stage_index": r.stage_index,
+                    "promoted": r.promoted,
+                    "canary_ids": list(r.canary_ids),
+                }
+                for r in report.rollouts
+            ],
+            "gateway_flushes": sum(
+                1 for g in report.gateway_stages if g.flushed
+            ),
+            "second_opinion_images": sum(
+                g.resolved_images for g in report.gateway_stages
+            ),
+        }
+        args.summary_json.write_text(
+            json.dumps(summary, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nsummary -> {args.summary_json}")
 
     if tracer is not None:
         tracer.write_jsonl(args.trace)

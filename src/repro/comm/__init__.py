@@ -1,14 +1,25 @@
 """Cloud <-> node communication substrate."""
 
-from repro.comm.link import JPEG_IMAGE_BYTES, LTE, WIFI, NetworkLink
+from repro.comm.link import (
+    FIBER,
+    JPEG_IMAGE_BYTES,
+    LAN,
+    LTE,
+    PASSTHROUGH,
+    WIFI,
+    NetworkLink,
+)
 from repro.comm.movement import DataMovementLedger, LedgerTotals, StageMovement
 
 __all__ = [
     "DataMovementLedger",
+    "FIBER",
     "JPEG_IMAGE_BYTES",
+    "LAN",
     "LTE",
     "LedgerTotals",
     "NetworkLink",
+    "PASSTHROUGH",
     "StageMovement",
     "WIFI",
 ]

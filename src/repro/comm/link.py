@@ -10,7 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["NetworkLink", "WIFI", "LTE", "JPEG_IMAGE_BYTES"]
+__all__ = [
+    "NetworkLink",
+    "WIFI",
+    "LTE",
+    "LAN",
+    "FIBER",
+    "PASSTHROUGH",
+    "JPEG_IMAGE_BYTES",
+]
 
 #: typical camera-trap JPEG at modest resolution
 JPEG_IMAGE_BYTES = 150_000
@@ -98,4 +106,24 @@ WIFI = NetworkLink(
 #: LTE Cat-4 uplink: 10 Mbit/s sustained, radios cost more per byte
 LTE = NetworkLink(
     name="LTE", bandwidth_bps=10e6, latency_s=0.12, energy_per_byte_j=350e-9
+)
+
+#: edge->gateway hop: wired/short-range Ethernet-class, cheap per byte
+LAN = NetworkLink(
+    name="LAN", bandwidth_bps=100e6, latency_s=0.002, energy_per_byte_j=5e-9
+)
+
+#: gateway->cloud backhaul: fibre-class WAN uplink
+FIBER = NetworkLink(
+    name="Fiber", bandwidth_bps=200e6, latency_s=0.01, energy_per_byte_j=20e-9
+)
+
+#: degenerate link for passthrough topologies: zero latency, zero energy,
+#: effectively infinite bandwidth — a gateway hop over this link adds
+#: nothing, which is what makes single-child topologies collapse to flat.
+PASSTHROUGH = NetworkLink(
+    name="Passthrough",
+    bandwidth_bps=1e18,
+    latency_s=0.0,
+    energy_per_byte_j=0.0,
 )

@@ -50,10 +50,29 @@ class LedgerTotals:
     uploaded_images: int
     uploaded_bytes: int
     downloaded_bytes: int
+    #: per-tier attribution; all zero for flat (single-hop) runs, which
+    #: never call :meth:`DataMovementLedger.record_tier`.
+    edge_to_gateway_bytes: int = 0
+    gateway_to_cloud_bytes: int = 0
+    gateway_to_edge_bytes: int = 0
+    cloud_to_gateway_bytes: int = 0
+    edge_transfer_events: int = 0
+    wan_transfer_events: int = 0
+    transfer_overhead_bytes: int = 0
 
     @property
     def total_bytes_moved(self) -> int:
         return self.uploaded_bytes + self.downloaded_bytes
+
+    @property
+    def tiered_bytes_moved(self) -> int:
+        """All per-tier traffic: both hops, both directions."""
+        return (
+            self.edge_to_gateway_bytes
+            + self.gateway_to_cloud_bytes
+            + self.gateway_to_edge_bytes
+            + self.cloud_to_gateway_bytes
+        )
 
     @property
     def upload_fraction(self) -> float:
@@ -84,6 +103,27 @@ class DataMovementLedger:
         default=0, init=False, repr=False, compare=False
     )
     _downloaded_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _edge_to_gateway_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _gateway_to_cloud_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _gateway_to_edge_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _cloud_to_gateway_bytes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _edge_transfer_events: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _wan_transfer_events: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _transfer_overhead_bytes: int = field(
         default=0, init=False, repr=False, compare=False
     )
 
@@ -145,6 +185,47 @@ class DataMovementLedger:
         self.stages.append(movement)
         return movement
 
+    def record_tier(
+        self,
+        stage_index: int,
+        *,
+        edge_up_bytes: int = 0,
+        wan_up_bytes: int = 0,
+        edge_down_bytes: int = 0,
+        wan_down_bytes: int = 0,
+        edge_up_transfers: int = 0,
+        wan_up_transfers: int = 0,
+        overhead_bytes: int = 0,
+    ) -> None:
+        """Attribute traffic to a topology tier for one stage.
+
+        This is an additive overlay: it does not touch the stage list or
+        the image-denominated totals, so flat runs (which never call it)
+        keep byte-identical :meth:`snapshot` output and the tier fields
+        report zero.  ``edge`` means the edge->gateway hop, ``wan`` the
+        gateway->cloud hop; ``down`` variants count push-down traffic in
+        the reverse direction on the same hop.
+        """
+        if min(
+            edge_up_bytes,
+            wan_up_bytes,
+            edge_down_bytes,
+            wan_down_bytes,
+            edge_up_transfers,
+            wan_up_transfers,
+            overhead_bytes,
+        ) < 0:
+            raise ValueError("counts must be >= 0")
+        if stage_index < 0:
+            raise ValueError("stage_index must be >= 0")
+        self._edge_to_gateway_bytes += edge_up_bytes
+        self._gateway_to_cloud_bytes += wan_up_bytes
+        self._gateway_to_edge_bytes += edge_down_bytes
+        self._cloud_to_gateway_bytes += wan_down_bytes
+        self._edge_transfer_events += edge_up_transfers
+        self._wan_transfer_events += wan_up_transfers
+        self._transfer_overhead_bytes += overhead_bytes
+
     def snapshot(self) -> LedgerTotals:
         """Freeze the running totals into an immutable point-in-time view."""
         return LedgerTotals(
@@ -153,6 +234,13 @@ class DataMovementLedger:
             uploaded_images=self._uploaded_images,
             uploaded_bytes=self._uploaded_images * self.image_bytes,
             downloaded_bytes=self._downloaded_bytes,
+            edge_to_gateway_bytes=self._edge_to_gateway_bytes,
+            gateway_to_cloud_bytes=self._gateway_to_cloud_bytes,
+            gateway_to_edge_bytes=self._gateway_to_edge_bytes,
+            cloud_to_gateway_bytes=self._cloud_to_gateway_bytes,
+            edge_transfer_events=self._edge_transfer_events,
+            wan_transfer_events=self._wan_transfer_events,
+            transfer_overhead_bytes=self._transfer_overhead_bytes,
         )
 
     @property

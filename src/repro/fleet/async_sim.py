@@ -156,6 +156,12 @@ class FleetEventReport:
     )
     makespan_s: float = 0.0
     final_eval_accuracy: float = 0.0
+    #: hierarchical runs only: the executed repro.topology.Topology, the
+    #: per-flush WAN records, and any images still parked at gateways
+    #: when the run ended.  Flat runs leave all three at their defaults.
+    topology: object | None = None
+    gateway_flushes: list = field(default_factory=list)
+    gateway_leftover_images: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_uploaded_bytes(self) -> int:
@@ -235,9 +241,7 @@ class _EventFleet:
         self.downlink = backhaul.open(self.sim, downlink=True, metrics=metrics)
         self.arrivals = Store(self.sim)
 
-        self.runtime: FleetRuntime = build_fleet_runtime(
-            config, assets, metrics=metrics
-        )
+        self.runtime: FleetRuntime = self._make_runtime(config, assets)
         self.report = FleetEventReport(
             config=config,
             scenario=self.scenario,
@@ -256,6 +260,78 @@ class _EventFleet:
             for i, p in enumerate(self.profiles)
         }
         self._round_events: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Override points for hierarchical topologies
+    # ------------------------------------------------------------------
+    def _make_runtime(
+        self, config: SystemConfig, assets: FleetAssets
+    ) -> FleetRuntime:
+        """Build the shared runtime; subclasses may override canary scope."""
+        return build_fleet_runtime(config, assets, metrics=self.metrics)
+
+    def _canary_ids(self) -> tuple[int, ...]:
+        """Node ids whose fresh data validates candidate models."""
+        return self.assets.canary_ids
+
+    def _transport(
+        self, i: int, profile, stage, epoch: int, upload_data, count: int,
+        node_report,
+    ):
+        """Move one epoch's upload off the node and deliver it cloudward.
+
+        The flat fleet rides the shared backhaul straight to the Cloud's
+        arrival store; the topology subclass rides the local hop to the
+        node's gateway instead.  Returns ``(upload_start_s, upload_done_s,
+        upload_energy_j)`` for the node's epoch record.
+        """
+        upload_start = self.sim.now
+        yield self.uplink.transfer(
+            count * JPEG_IMAGE_BYTES,
+            profile.link.bandwidth_bps,
+            latency_s=profile.link.latency_s,
+            tag=profile.node_id,
+        )
+        upload_done = self.sim.now
+        if count:
+            self.tracer.span(
+                "net",
+                "upload",
+                upload_start,
+                upload_done,
+                node=profile.node_id,
+                stage=stage.index,
+                epoch=epoch,
+                system=self.config.system_id,
+                bytes=count * JPEG_IMAGE_BYTES,
+            )
+        self.arrivals.put(
+            _Arrival(
+                profile.node_id,
+                epoch,
+                stage.index,
+                upload_data,
+                node_report.accuracy_before_update,
+            )
+        )
+        return (
+            upload_start,
+            upload_done,
+            profile.link.image_upload_energy_j(count),
+        )
+
+    def _collect_round(self, round_index: int):
+        """Gather one barrier round's arrivals plus the fleet accuracy."""
+        arrivals = yield from self._collect(len(self.profiles))
+        accuracy = float(np.mean([a.accuracy for a in arrivals]))
+        return arrivals, accuracy
+
+    def _spawn_processes(self) -> None:
+        for i in range(len(self.profiles)):
+            self.sim.process(self._node_proc(i))
+        self.sim.process(
+            self._cloud_barrier() if self.barrier else self._cloud_async()
+        )
 
     # ------------------------------------------------------------------
     # Node processes
@@ -324,26 +400,11 @@ class _EventFleet:
             else:
                 upload_data = node_report.upload_data
                 count = len(upload_data)
-            upload_start = self.sim.now
-            yield self.uplink.transfer(
-                count * JPEG_IMAGE_BYTES,
-                profile.link.bandwidth_bps,
-                latency_s=profile.link.latency_s,
-                tag=profile.node_id,
-            )
-            upload_done = self.sim.now
-            if count:
-                self.tracer.span(
-                    "net",
-                    "upload",
-                    upload_start,
-                    upload_done,
-                    node=profile.node_id,
-                    stage=stage.index,
-                    epoch=epoch,
-                    system=self.config.system_id,
-                    bytes=count * JPEG_IMAGE_BYTES,
+            upload_start, upload_done, upload_energy = yield from (
+                self._transport(
+                    i, profile, stage, epoch, upload_data, count, node_report
                 )
+            )
             m = self.metrics
             if m is not None:
                 sys_id = self.config.system_id
@@ -362,15 +423,6 @@ class _EventFleet:
                 node_report.accuracy_before_update
             )
             self.last_data[profile.node_id] = stage.new_data
-            self.arrivals.put(
-                _Arrival(
-                    profile.node_id,
-                    epoch,
-                    stage.index,
-                    upload_data,
-                    node_report.accuracy_before_update,
-                )
-            )
             if self.barrier:
                 # An epoch only commits once the fleet-wide round closes:
                 # a horizon that freezes the fleet mid-round must not
@@ -389,7 +441,7 @@ class _EventFleet:
                     upload_start_s=upload_start,
                     upload_done_s=upload_done,
                     upload_bytes=count * JPEG_IMAGE_BYTES,
-                    upload_energy_j=profile.link.image_upload_energy_j(count),
+                    upload_energy_j=upload_energy,
                     node_compute_energy_j=node_report.node_energy_j,
                 )
             )
@@ -498,7 +550,7 @@ class _EventFleet:
                     latest_epoch,
                     fleet_accuracy,
                     lambda: Dataset.concat(
-                        [self.last_data[c] for c in self.assets.canary_ids]
+                        [self.last_data[c] for c in self._canary_ids()]
                     ),
                     runtime=self.runtime,
                     base=self.base,
@@ -518,7 +570,9 @@ class _EventFleet:
         num_stages = len(self.assets.node_stages[0])
         round_index = 0
         while True:
-            arrivals = yield from self._collect(len(self.profiles))
+            arrivals, fleet_accuracy = yield from self._collect_round(
+                round_index
+            )
             trigger = self.sim.now
             if round_index == 0:
                 outcome = cloud_initialize(
@@ -532,9 +586,6 @@ class _EventFleet:
                 stage_slot = round_index % num_stages
                 for a in arrivals:
                     self.runtime.scheduler.offer(a.epoch, a.node_id, a.data)
-                fleet_accuracy = float(
-                    np.mean([a.accuracy for a in arrivals])
-                )
                 outcome = cloud_try_update(
                     round_index,
                     fleet_accuracy,
@@ -543,7 +594,7 @@ class _EventFleet:
                             self.assets.node_stages[self.index_of[c]][
                                 stage_slot
                             ].new_data
-                            for c in self.assets.canary_ids
+                            for c in self._canary_ids()
                         ]
                     ),
                     runtime=self.runtime,
@@ -643,11 +694,7 @@ class _EventFleet:
 
     # ------------------------------------------------------------------
     def run(self) -> FleetEventReport:
-        for i in range(len(self.profiles)):
-            self.sim.process(self._node_proc(i))
-        self.sim.process(
-            self._cloud_barrier() if self.barrier else self._cloud_async()
-        )
+        self._spawn_processes()
         with obs_metrics.use(self.metrics):
             self.report.makespan_s = self.sim.run(until=self.horizon_s)
         self.report.rollouts = list(self.runtime.scheduler.history)
@@ -676,6 +723,7 @@ def run_fleet_event(
     acquire_time_s: float = 0.0,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    topology=None,
 ) -> FleetEventReport:
     """Run one system variant's fleet asynchronously in virtual time.
 
@@ -699,7 +747,29 @@ def run_fleet_event(
         Optional observability sinks.  Spans are stamped with the kernel
         clock (``Simulator.now``), so a given (assets, config, mode)
         produces a byte-identical trace stream; both default to off.
+    topology:
+        A :class:`repro.topology.Topology` interposing gateway processes
+        between the nodes and the Cloud; gateway flushes become flows on
+        the shared backhaul.  ``None`` and passthrough topologies run
+        this exact flat engine, so default trajectories are unchanged.
     """
+    if topology is not None:
+        topology.validate_for(assets.profiles)
+    if topology is not None and not topology.is_passthrough:
+        # Imported here: repro.topology imports this module.
+        from repro.topology.event import TopologyEventFleet
+
+        engine = TopologyEventFleet(
+            config,
+            assets,
+            topology=topology,
+            horizon_s=horizon_s,
+            barrier=barrier,
+            acquire_time_s=acquire_time_s,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        return engine.run()
     engine = _EventFleet(
         config,
         assets,
@@ -709,7 +779,11 @@ def run_fleet_event(
         tracer=tracer,
         metrics=metrics,
     )
-    return engine.run()
+    report = engine.run()
+    # A passthrough topology executed the flat path verbatim; still
+    # record what was asked for.
+    report.topology = topology
+    return report
 
 
 # ----------------------------------------------------------------------

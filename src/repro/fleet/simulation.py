@@ -174,6 +174,11 @@ class FleetReport:
         default_factory=lambda: DataMovementLedger(image_bytes=JPEG_IMAGE_BYTES)
     )
     registry: ModelRegistry = field(default_factory=ModelRegistry)
+    #: hierarchical runs only: the executed repro.topology.Topology and
+    #: the per-(stage, gateway) aggregation records.  Flat runs leave
+    #: both at their defaults.
+    topology: object | None = None
+    gateway_stages: list = field(default_factory=list)
 
     @property
     def total_uploaded_bytes(self) -> int:
@@ -399,8 +404,14 @@ def build_fleet_runtime(
     assets: FleetAssets,
     *,
     metrics: MetricsRegistry | None = None,
+    canary_ids: tuple[int, ...] | None = None,
 ) -> FleetRuntime:
-    """Construct the Cloud, scheduler, and nodes for one system variant."""
+    """Construct the Cloud, scheduler, and nodes for one system variant.
+
+    ``canary_ids`` overrides the asset-derived canary subset; the
+    topology engines pass the canary gateway's children here so rollouts
+    canary regionally instead of on the scenario's scattered sample.
+    """
     scenario = assets.scenario
     base = scenario.base
     profiles = assets.profiles
@@ -421,7 +432,9 @@ def build_fleet_runtime(
         registry=registry,
         guard=guard,
         policy=scenario.scheduler_policy,
-        canary_ids=assets.canary_ids,
+        canary_ids=(
+            canary_ids if canary_ids is not None else assets.canary_ids
+        ),
         upload_threshold=scenario.upload_threshold,
         accuracy_drop=scenario.accuracy_drop,
     )
@@ -640,6 +653,7 @@ def _node_stage_records(
     node_id: int,
     system_id: str,
     t0: float,
+    tier: str | None = None,
 ) -> list[TraceRecord]:
     """Trace records for one node's stage, stamped at virtual time ``t0``.
 
@@ -648,8 +662,12 @@ def _node_stage_records(
     :class:`NodeReport`; the parent merges the per-(node, stage) buffers in
     fixed node order, making the trace bytes identical for every worker
     count.
+
+    ``tier`` tags the records for hierarchical runs; flat runs pass
+    ``None`` and their record bytes carry no tier attribute at all.
     """
     compute_s = node_report.inference_time_s + node_report.diagnosis_time_s
+    tier_attrs = {} if tier is None else {"tier": tier}
     return [
         make_span(
             "node",
@@ -661,6 +679,7 @@ def _node_stage_records(
             system=system_id,
             inference_s=node_report.inference_time_s,
             diagnosis_s=node_report.diagnosis_time_s,
+            **tier_attrs,
         ),
         make_event(
             "node",
@@ -671,6 +690,7 @@ def _node_stage_records(
             system=system_id,
             acquired=node_report.acquired_images,
             flagged=node_report.flagged_images,
+            **tier_attrs,
         ),
     ]
 
@@ -686,7 +706,7 @@ def _fleet_worker_init(config: SystemConfig, assets: FleetAssets) -> None:
 
 
 def _fleet_worker_stage(
-    task: tuple[int, int, dict[str, np.ndarray], float | None]
+    task: tuple[int, int, dict[str, np.ndarray], float | None, str | None]
 ) -> tuple[int, "NodeReport", list[TraceRecord] | None]:
     """Run one node's stage in a worker process.
 
@@ -695,9 +715,10 @@ def _fleet_worker_stage(
     the result is bit-identical to the serial path regardless of which
     worker runs which task.  ``trace_t0`` (the stage's virtual start time)
     is non-None only when the parent is tracing; the worker then returns
-    its own trace buffer for deterministic merging.
+    its own trace buffer for deterministic merging.  ``tier`` tags the
+    records for hierarchical runs (None on the flat path).
     """
-    node_index, stage_index, active_state, trace_t0 = task
+    node_index, stage_index, active_state, trace_t0, tier = task
     runtime = _WORKER_STATE["runtime"]
     assets = _WORKER_STATE["assets"]
     runtime.deployed_net.load_state_dict(active_state)
@@ -719,6 +740,7 @@ def _fleet_worker_stage(
             node_id=profile.node_id,
             system_id=runtime.config.system_id,
             t0=trace_t0,
+            tier=tier,
         )
         if trace_t0 is not None
         else None
@@ -733,6 +755,7 @@ def run_fleet(
     workers: int = 1,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    topology=None,
 ) -> FleetReport:
     """Replay the whole fleet schedule for one system variant.
 
@@ -746,11 +769,24 @@ def run_fleet(
     byte-identical across worker counts); ``metrics`` threads a registry
     through the runtime and the ambient :func:`repro.obs.metrics.use`
     scope.  Both default to off with zero overhead.
+
+    ``topology`` (a :class:`repro.topology.Topology`) interposes a
+    gateway tier between the nodes and the Cloud.  ``None`` and
+    passthrough topologies execute this exact flat code path, so the
+    default trajectories are byte-identical with or without the flag.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if topology is not None:
+        topology.validate_for(assets.profiles)
+    hierarchical = topology is not None and not topology.is_passthrough
     uplink = SharedUplink(assets.scenario.backhaul_bps)
-    runtime = build_fleet_runtime(config, assets, metrics=metrics)
+    runtime = build_fleet_runtime(
+        config,
+        assets,
+        metrics=metrics,
+        canary_ids=topology.canary_node_ids if hierarchical else None,
+    )
     executor = (
         ProcessPoolExecutor(
             max_workers=workers,
@@ -763,9 +799,26 @@ def run_fleet(
     )
     try:
         with obs_metrics.use(metrics):
-            return _run_fleet_schedule(
+            if hierarchical:
+                # Imported here: repro.topology imports this module.
+                from repro.topology.lockstep import run_topology_schedule
+
+                return run_topology_schedule(
+                    config,
+                    assets,
+                    runtime,
+                    topology,
+                    uplink,
+                    executor,
+                    tracer=tracer,
+                )
+            report = _run_fleet_schedule(
                 config, assets, runtime, uplink, executor, tracer=tracer
             )
+            # A passthrough topology executed the flat path verbatim;
+            # still record what was asked for.
+            report.topology = topology
+            return report
     finally:
         if executor is not None:
             executor.shutdown()
@@ -832,7 +885,7 @@ def _run_fleet_schedule(
         else:
             futures = [
                 executor.submit(
-                    _fleet_worker_stage, (i, s, active_state, trace_t0)
+                    _fleet_worker_stage, (i, s, active_state, trace_t0, None)
                 )
                 for i in range(len(profiles))
             ]
@@ -1054,6 +1107,7 @@ def run_fleet_all_systems(
     workers: int = 1,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    topology=None,
 ) -> dict[str, FleetReport]:
     """Run every Fig. 24 variant over the same fleet, data, and weights.
 
@@ -1064,7 +1118,12 @@ def run_fleet_all_systems(
     assets = prepare_fleet_assets(scenario)
     return {
         config.system_id: run_fleet(
-            config, assets, workers=workers, tracer=tracer, metrics=metrics
+            config,
+            assets,
+            workers=workers,
+            tracer=tracer,
+            metrics=metrics,
+            topology=topology,
         )
         for config in SYSTEMS
     }

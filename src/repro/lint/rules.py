@@ -630,7 +630,11 @@ def _is_set_expr(ctx: "FileContext", node: ast.AST) -> bool:
 
 class _NoSetIteration(Rule):
     def applies(self, ctx: "FileContext") -> bool:
-        return ctx.in_module("repro.fleet", "repro.events")
+        # repro.topology schedules gateway flushes and WAN flows, so it
+        # is scheduling code in exactly the RPR006 sense.
+        return ctx.in_module(
+            "repro.fleet", "repro.events", "repro.topology"
+        )
 
     def check(self, ctx: "FileContext") -> Iterator["Finding"]:
         for node in ast.walk(ctx.tree):
@@ -669,7 +673,7 @@ _register(
             "hash-ordered sets couples trajectories to PYTHONHASHSEED "
             "and process boundaries"
         ),
-        scope="repro.fleet and repro.events",
+        scope="repro.fleet, repro.events, and repro.topology",
     )
 )
 

@@ -4,7 +4,9 @@ Subcommands:
 
 ``summarize TRACE``
     One-screen timeline summary: record counts, the virtual-time
-    window, per-category busy time, and per-node activity.
+    window, per-category busy time, and per-node activity.  Traces from
+    hierarchical-topology runs additionally group the timeline by tier
+    (edge / gateway / cloud, from the records' ``tier`` attribute).
 
 ``convert TRACE -o OUT [--format chrome]``
     Re-export a schema-v1 JSONL trace, e.g. to the Chrome
@@ -42,6 +44,9 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
         lambda: {"spans": 0, "events": 0, "busy": 0.0}
     )
     by_node: dict[int, dict] = defaultdict(lambda: {"spans": 0, "busy": 0.0})
+    by_tier: dict[str, dict] = defaultdict(
+        lambda: {"spans": 0, "events": 0, "busy": 0.0}
+    )
     for r in records:
         row = by_cat[f"{r.cat}.{r.name}"]
         if r.kind == "span":
@@ -53,6 +58,14 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
         if node is not None and r.kind == "span":
             by_node[int(node)]["spans"] += 1
             by_node[int(node)]["busy"] += r.duration_s
+        tier = _attr(r, "tier")
+        if tier is not None:
+            trow = by_tier[str(tier)]
+            if r.kind == "span":
+                trow["spans"] += 1
+                trow["busy"] += r.duration_s
+            else:
+                trow["events"] += 1
 
     lines = [
         f"records: {len(records)} ({len(spans)} spans, {len(events)} events)",
@@ -71,6 +84,22 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
         )
     if len(ranked) > limit:
         lines.append(f"... {len(ranked) - limit} more categories")
+    if by_tier:
+        # Tier tags appear only on hierarchical-topology traces; flat
+        # traces keep the flat summary layout untouched.
+        lines += [
+            "",
+            f"{'tier':<10} {'spans':>6} {'events':>7} {'busy s':>10}",
+        ]
+        tier_order = {"edge": 0, "gateway": 1, "cloud": 2}
+        for tier in sorted(
+            by_tier, key=lambda t: (tier_order.get(t, 99), t)
+        ):
+            row = by_tier[tier]
+            lines.append(
+                f"{tier:<10} {row['spans']:>6} {row['events']:>7} "
+                f"{row['busy']:>10.3f}"
+            )
     if by_node:
         lines += ["", f"{'node':<6} {'spans':>6} {'busy s':>10} {'busy %':>8}"]
         window = max(t_hi - t_lo, 1e-12)

@@ -221,6 +221,31 @@ def _render_specs() -> str:
     return devices + "\n\n" + networks
 
 
+def _render_tier_table(results) -> str:
+    """Per-tier movement for a hierarchical run (gateway topology)."""
+    mb = 1e6
+    return format_table(
+        "Hierarchical topology — per-tier movement",
+        ["system", "edge up MB", "WAN up MB", "WAN down MB", "edge down MB",
+         "edge xfers", "WAN xfers", "overhead kB"],
+        [
+            [
+                sid,
+                f"{s.edge_to_gateway_bytes / mb:.0f}",
+                f"{s.gateway_to_cloud_bytes / mb:.0f}",
+                f"{s.cloud_to_gateway_bytes / mb:.0f}",
+                f"{s.gateway_to_edge_bytes / mb:.0f}",
+                s.edge_transfer_events,
+                s.wan_transfer_events,
+                f"{s.transfer_overhead_bytes / 1e3:.0f}",
+            ]
+            for sid, s in (
+                (sid, r.ledger.snapshot()) for sid, r in results.items()
+            )
+        ],
+    )
+
+
 def _render_fleet(
     num_nodes: int,
     policy: str,
@@ -229,6 +254,7 @@ def _render_fleet(
     workers: int = 1,
     tracer=None,
     metrics=None,
+    topology=None,
 ) -> str:
     """Beyond the paper: the four Fig. 24 variants at fleet scale."""
     from repro.fleet import (
@@ -244,7 +270,11 @@ def _render_fleet(
         seed=seed,
     )
     results = run_fleet_all_systems(
-        scenario, workers=workers, tracer=tracer, metrics=metrics
+        scenario,
+        workers=workers,
+        tracer=tracer,
+        metrics=metrics,
+        topology=topology,
     )
     mb = 1e6
     aggregate = format_table(
@@ -302,7 +332,10 @@ def _render_fleet(
             for t in d.nodes
         ],
     )
-    return aggregate + "\n\n" + rollouts + "\n\n" + per_node
+    out = aggregate + "\n\n" + rollouts + "\n\n" + per_node
+    if topology is not None and not topology.is_passthrough:
+        out += "\n\n" + _render_tier_table(results)
+    return out
 
 
 def _render_fleet_event(
@@ -313,6 +346,7 @@ def _render_fleet_event(
     *,
     tracer=None,
     metrics=None,
+    topology=None,
 ) -> str:
     """Event-driven fleet: asynchronous epochs, dynamic uplink flows."""
     from repro.core.systems import SYSTEMS
@@ -332,7 +366,12 @@ def _render_fleet_event(
     assets = prepare_fleet_assets(scenario)
     results = {
         config.system_id: run_fleet_event(
-            config, assets, horizon_s=horizon, tracer=tracer, metrics=metrics
+            config,
+            assets,
+            horizon_s=horizon,
+            tracer=tracer,
+            metrics=metrics,
+            topology=topology,
         )
         for config in SYSTEMS
     }
@@ -383,7 +422,10 @@ def _render_fleet_event(
             for t in d.nodes
         ],
     )
-    return aggregate + "\n\n" + per_node
+    out = aggregate + "\n\n" + per_node
+    if topology is not None and not topology.is_passthrough:
+        out += "\n\n" + _render_tier_table(results)
+    return out
 
 
 _EXPERIMENTS: dict[str, Callable[[], str]] = {
@@ -467,6 +509,61 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--topology",
+        choices=("flat", "fan-out"),
+        default="flat",
+        help=(
+            "fleet wiring for 'fleet': 'flat' (every node talks straight "
+            "to the Cloud; the default, unchanged output) or 'fan-out' "
+            "(nodes grouped under gateways that aggregate uploads; see "
+            "--fan-out and the --agg-*/--second-opinion knobs)"
+        ),
+    )
+    parser.add_argument(
+        "--fan-out",
+        type=int,
+        default=4,
+        help="nodes per gateway for '--topology fan-out' (default: 4)",
+    )
+    parser.add_argument(
+        "--agg-images",
+        type=int,
+        default=32,
+        help=(
+            "gateway flush threshold in buffered images for "
+            "'--topology fan-out' (default: 32); 0 disables aggregation"
+        ),
+    )
+    parser.add_argument(
+        "--agg-age-stages",
+        type=int,
+        default=2,
+        help=(
+            "flush when the oldest buffered upload is this many stages "
+            "old, for '--topology fan-out' (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--second-opinion",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help=(
+            "fraction of flagged inputs the gateway model resolves "
+            "locally instead of escalating, for '--topology fan-out' "
+            "(default: 0.0 = disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--overhead-bytes",
+        type=int,
+        default=2_000,
+        help=(
+            "fixed per-WAN-transfer framing overhead in bytes for "
+            "'--topology fan-out' (default: 2000)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -521,6 +618,35 @@ def main(argv: list[str] | None = None) -> int:
             )
     if (args.trace or args.metrics) and "fleet" not in selected:
         parser.error("--trace/--metrics only apply to the 'fleet' experiment")
+    topology = None
+    if args.topology == "fan-out":
+        from repro.topology import AggregationPolicy, Topology
+
+        if args.fan_out < 1:
+            parser.error("--fan-out must be at least 1")
+        if args.agg_images < 0:
+            parser.error("--agg-images must be >= 0")
+        if args.agg_age_stages < 1:
+            parser.error("--agg-age-stages must be at least 1")
+        if not 0.0 <= args.second_opinion <= 1.0:
+            parser.error("--second-opinion must be in [0, 1]")
+        if args.overhead_bytes < 0:
+            parser.error("--overhead-bytes must be >= 0")
+        aggregation = (
+            AggregationPolicy(
+                flush_images=args.agg_images,
+                max_age_stages=args.agg_age_stages,
+            )
+            if args.agg_images > 0
+            else AggregationPolicy(enabled=False)
+        )
+        topology = Topology.fan_out(
+            args.nodes,
+            args.fan_out,
+            aggregation=aggregation,
+            second_opinion_fraction=args.second_opinion,
+            per_transfer_overhead_bytes=args.overhead_bytes,
+        )
     if "all" in selected:
         selected = sorted(_EXPERIMENTS)
     tracer = None
@@ -544,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
                         args.horizon,
                         tracer=tracer,
                         metrics=metrics,
+                        topology=topology,
                     )
                 )
             else:
@@ -555,6 +682,7 @@ def main(argv: list[str] | None = None) -> int:
                         workers=args.workers,
                         tracer=tracer,
                         metrics=metrics,
+                        topology=topology,
                     )
                 )
         else:

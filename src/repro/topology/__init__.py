@@ -1,0 +1,30 @@
+"""Hierarchical edge -> gateway -> cloud fleet tier.
+
+The pure shape lives in :mod:`repro.topology.model`; gateway-side state
+(upload buffers, the second-opinion model) in
+:mod:`repro.topology.gateway`; and the two execution engines in
+:mod:`repro.topology.lockstep` and :mod:`repro.topology.event`.  Users
+normally pass a :class:`Topology` to ``run_fleet(..., topology=...)`` or
+``run_fleet_event(..., topology=...)`` rather than importing the engines
+directly.
+"""
+
+from repro.topology.gateway import (
+    BufferedUpload,
+    GatewayBuffer,
+    GatewayStageRecord,
+    SecondOpinion,
+    SecondOpinionResult,
+)
+from repro.topology.model import AggregationPolicy, GatewayProfile, Topology
+
+__all__ = [
+    "AggregationPolicy",
+    "BufferedUpload",
+    "GatewayBuffer",
+    "GatewayProfile",
+    "GatewayStageRecord",
+    "SecondOpinion",
+    "SecondOpinionResult",
+    "Topology",
+]

@@ -1,0 +1,285 @@
+"""Hierarchical fleet topology: edge nodes -> gateways -> one cloud.
+
+The paper's protocol assumes every node talks straight to the Cloud.
+Production IoT fleets interpose *gateways*: a site-local box that
+aggregates its children's uploads into amortized WAN transfers, can host
+a mid-size second-opinion model, and is the natural unit of regional
+canary rollout.  This module is the pure data model for that shape —
+who is under which gateway, which link each hop rides, and how the
+gateway batches uploads.  The engines that execute it live in
+:mod:`repro.topology.lockstep` and :mod:`repro.topology.event`.
+
+Degenerate topologies (one node per gateway, passthrough links, no
+aggregation, no second opinion, no framing overhead) are *exactly* the
+flat fleet; :attr:`Topology.is_passthrough` detects that case and the
+fleet entry points delegate to the unmodified flat code path, so the
+flat trajectories stay byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.link import FIBER, LAN, LTE, PASSTHROUGH, WIFI, NetworkLink
+from repro.hw.specs import TX1, GPUSpec
+
+__all__ = ["AggregationPolicy", "GatewayProfile", "Topology"]
+
+#: link classes a gateway hop may draw from
+_TIER_LINKS: dict[str, NetworkLink] = {
+    "lan": LAN,
+    "fiber": FIBER,
+    "passthrough": PASSTHROUGH,
+    "wifi": WIFI,
+    "lte": LTE,
+}
+
+#: boards a gateway's second-opinion model may run on; a gateway is a
+#: powered site box, so the full-clock TX1 is the only class for now
+_GATEWAY_DEVICES: dict[str, GPUSpec] = {
+    "tx1": TX1,
+}
+
+
+@dataclass(frozen=True)
+class AggregationPolicy:
+    """When a gateway flushes its buffered uploads as one WAN transfer.
+
+    ``max_age_stages`` is denominated in stages (lockstep) / epochs
+    (event mode), not virtual seconds, so the two engines make identical
+    flush decisions and stay trajectory-equivalent under ``barrier=True``.
+    """
+
+    enabled: bool = True
+    flush_images: int = 32  # flush when the buffer reaches this many
+    max_age_stages: int = 2  # ... or when the oldest entry is this old
+
+    def __post_init__(self) -> None:
+        if self.flush_images < 1:
+            raise ValueError("flush_images must be >= 1")
+        if self.max_age_stages < 1:
+            raise ValueError("max_age_stages must be >= 1")
+
+
+@dataclass(frozen=True)
+class GatewayProfile:
+    """One gateway: its children and the links on both of its hops.
+
+    ``uplink_kind="inherit"`` (single-child gateways only) reuses the
+    child's own radio for the WAN hop — the degenerate wiring that makes
+    a passthrough topology collapse to the flat fleet.
+    """
+
+    gateway_id: int
+    child_ids: tuple[int, ...]
+    local_link_kind: str = "lan"  # edge -> gateway hop
+    uplink_kind: str = "fiber"  # gateway -> cloud hop, or "inherit"
+    device_kind: str = "tx1"  # board running the second-opinion model
+
+    def __post_init__(self) -> None:
+        if not self.child_ids:
+            raise ValueError(f"gateway {self.gateway_id} has no children")
+        if len(set(self.child_ids)) != len(self.child_ids):
+            raise ValueError(
+                f"gateway {self.gateway_id} lists a child twice"
+            )
+        if self.local_link_kind not in _TIER_LINKS:
+            raise ValueError(
+                f"unknown local link {self.local_link_kind!r}; "
+                f"available: {sorted(_TIER_LINKS)}"
+            )
+        if (
+            self.uplink_kind not in _TIER_LINKS
+            and self.uplink_kind != "inherit"
+        ):
+            raise ValueError(
+                f"unknown uplink {self.uplink_kind!r}; "
+                f"available: {sorted(_TIER_LINKS)} or 'inherit'"
+            )
+        if self.uplink_kind == "inherit" and len(self.child_ids) != 1:
+            raise ValueError(
+                f"gateway {self.gateway_id}: 'inherit' uplink requires "
+                "exactly one child"
+            )
+        if self.device_kind not in _GATEWAY_DEVICES:
+            raise ValueError(
+                f"unknown gateway device {self.device_kind!r}; "
+                f"available: {sorted(_GATEWAY_DEVICES)}"
+            )
+
+    @property
+    def local_link(self) -> NetworkLink:
+        return _TIER_LINKS[self.local_link_kind]
+
+    @property
+    def device(self) -> GPUSpec:
+        return _GATEWAY_DEVICES[self.device_kind]
+
+    def wan_link(self, profiles) -> NetworkLink:
+        """The gateway->cloud link; ``inherit`` rides the child's radio."""
+        if self.uplink_kind == "inherit":
+            (child,) = self.child_ids
+            return profiles[child].link
+        return _TIER_LINKS[self.uplink_kind]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A two-tier fleet shape: gateways partition the node id space.
+
+    ``canary_gateway_id`` scopes the canary rollout to one gateway's
+    children (regional canary; regression rolls back regionally before
+    any fleet-wide push).  ``per_transfer_overhead_bytes`` is the fixed
+    per-WAN-transfer framing cost aggregation amortizes away.
+    """
+
+    gateways: tuple[GatewayProfile, ...]
+    aggregation: AggregationPolicy = field(default_factory=AggregationPolicy)
+    second_opinion_fraction: float = 0.0
+    per_transfer_overhead_bytes: int = 2_000
+    canary_gateway_id: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.gateways:
+            raise ValueError("topology needs at least one gateway")
+        gw_ids = [g.gateway_id for g in self.gateways]
+        if len(set(gw_ids)) != len(gw_ids):
+            raise ValueError("duplicate gateway ids")
+        children: list[int] = []
+        for g in self.gateways:
+            children.extend(g.child_ids)
+        if len(set(children)) != len(children):
+            raise ValueError("a node is claimed by more than one gateway")
+        if not 0.0 <= self.second_opinion_fraction <= 1.0:
+            raise ValueError("second_opinion_fraction must be in [0, 1]")
+        if self.per_transfer_overhead_bytes < 0:
+            raise ValueError("per_transfer_overhead_bytes must be >= 0")
+        if (
+            self.canary_gateway_id is not None
+            and self.canary_gateway_id not in set(gw_ids)
+        ):
+            raise ValueError(
+                f"canary gateway {self.canary_gateway_id} not in topology"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(n for g in self.gateways for n in g.child_ids)
+        )
+
+    def gateway_of(self, node_id: int) -> GatewayProfile:
+        for g in self.gateways:
+            if node_id in g.child_ids:
+                return g
+        raise KeyError(f"node {node_id} is not in the topology")
+
+    @property
+    def canary_gateway(self) -> GatewayProfile:
+        """The gateway whose children canary candidate models first."""
+        if self.canary_gateway_id is None:
+            return self.gateways[0]
+        for g in self.gateways:
+            if g.gateway_id == self.canary_gateway_id:
+                return g
+        raise KeyError(self.canary_gateway_id)  # unreachable post-init
+
+    @property
+    def canary_node_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.canary_gateway.child_ids))
+
+    @property
+    def is_passthrough(self) -> bool:
+        """Does this topology change *nothing* relative to the flat fleet?
+
+        True only when every gateway is a one-child passthrough relay
+        with an inherited uplink, aggregation is off, no second opinion
+        runs, and WAN transfers carry no framing overhead.  The fleet
+        entry points then execute the unmodified flat code path.
+        """
+        return (
+            not self.aggregation.enabled
+            and self.second_opinion_fraction == 0.0
+            and self.per_transfer_overhead_bytes == 0
+            and all(
+                len(g.child_ids) == 1
+                and g.local_link_kind == "passthrough"
+                and g.uplink_kind == "inherit"
+                for g in self.gateways
+            )
+        )
+
+    def validate_for(self, profiles) -> None:
+        """Check the topology covers exactly the fleet's node ids."""
+        fleet_ids = tuple(sorted(p.node_id for p in profiles))
+        if self.node_ids != fleet_ids:
+            raise ValueError(
+                f"topology covers nodes {self.node_ids}, "
+                f"fleet has {fleet_ids}"
+            )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, num_nodes: int) -> "Topology":
+        """One passthrough gateway per node: structurally the flat fleet."""
+        return cls(
+            gateways=tuple(
+                GatewayProfile(
+                    gateway_id=i,
+                    child_ids=(i,),
+                    local_link_kind="passthrough",
+                    uplink_kind="inherit",
+                )
+                for i in range(num_nodes)
+            ),
+            aggregation=AggregationPolicy(enabled=False),
+            second_opinion_fraction=0.0,
+            per_transfer_overhead_bytes=0,
+        )
+
+    @classmethod
+    def fan_out(
+        cls,
+        num_nodes: int,
+        fan_out: int,
+        *,
+        aggregation: AggregationPolicy | None = None,
+        second_opinion_fraction: float = 0.0,
+        per_transfer_overhead_bytes: int = 2_000,
+        canary_gateway_id: int | None = None,
+        local_link_kind: str = "lan",
+        uplink_kind: str = "fiber",
+        seed: int = 0,
+    ) -> "Topology":
+        """Group consecutive node-id blocks of size ``fan_out`` per gateway."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if fan_out < 1:
+            raise ValueError("fan_out must be >= 1")
+        gateways = tuple(
+            GatewayProfile(
+                gateway_id=g,
+                child_ids=tuple(
+                    range(g * fan_out, min((g + 1) * fan_out, num_nodes))
+                ),
+                local_link_kind=local_link_kind,
+                uplink_kind=uplink_kind,
+            )
+            for g in range((num_nodes + fan_out - 1) // fan_out)
+        )
+        return cls(
+            gateways=gateways,
+            aggregation=(
+                aggregation if aggregation is not None else AggregationPolicy()
+            ),
+            second_opinion_fraction=second_opinion_fraction,
+            per_transfer_overhead_bytes=per_transfer_overhead_bytes,
+            canary_gateway_id=canary_gateway_id,
+            seed=seed,
+        )

@@ -98,3 +98,71 @@ class TestRunningTotals:
         assert snap.stages_recorded == 0
         assert snap.total_bytes_moved == 0
         assert snap.upload_fraction == 0.0
+
+
+class TestTierOverlay:
+    """Per-tier fields are an additive overlay on the flat ledger.
+
+    A flat run never calls ``record_tier``, so every tier field stays
+    zero and the flat totals are exactly what they were before the
+    hierarchical topology existed — the regression contract the fleet
+    equivalence tests rely on.
+    """
+
+    def test_flat_ledger_has_zero_tier_fields(self, ledger):
+        ledger.record(0, acquired=100, uploaded=40)
+        ledger.record_download(0, 5_000)
+        snap = ledger.snapshot()
+        assert snap.edge_to_gateway_bytes == 0
+        assert snap.gateway_to_cloud_bytes == 0
+        assert snap.gateway_to_edge_bytes == 0
+        assert snap.cloud_to_gateway_bytes == 0
+        assert snap.edge_transfer_events == 0
+        assert snap.wan_transfer_events == 0
+        assert snap.transfer_overhead_bytes == 0
+        assert snap.tiered_bytes_moved == 0
+
+    def test_record_tier_does_not_touch_flat_totals(self, ledger):
+        ledger.record(0, acquired=100, uploaded=40)
+        flat_before = (
+            ledger.total_uploaded_bytes,
+            ledger.total_downloaded_bytes,
+            len(ledger.stages),
+        )
+        ledger.record_tier(
+            0,
+            edge_up_bytes=40_000,
+            wan_up_bytes=42_000,
+            edge_down_bytes=1_000,
+            wan_down_bytes=500,
+            edge_up_transfers=4,
+            wan_up_transfers=1,
+            overhead_bytes=2_000,
+        )
+        assert (
+            ledger.total_uploaded_bytes,
+            ledger.total_downloaded_bytes,
+            len(ledger.stages),
+        ) == flat_before
+
+    def test_record_tier_accumulates(self, ledger):
+        ledger.record_tier(0, edge_up_bytes=10, wan_up_bytes=12,
+                           edge_up_transfers=2, wan_up_transfers=1,
+                           overhead_bytes=2)
+        ledger.record_tier(1, edge_up_bytes=5, wan_down_bytes=7,
+                           edge_down_bytes=3)
+        snap = ledger.snapshot()
+        assert snap.edge_to_gateway_bytes == 15
+        assert snap.gateway_to_cloud_bytes == 12
+        assert snap.cloud_to_gateway_bytes == 7
+        assert snap.gateway_to_edge_bytes == 3
+        assert snap.edge_transfer_events == 2
+        assert snap.wan_transfer_events == 1
+        assert snap.transfer_overhead_bytes == 2
+        assert snap.tiered_bytes_moved == 15 + 12 + 7 + 3
+
+    def test_record_tier_rejects_negative(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.record_tier(0, edge_up_bytes=-1)
+        with pytest.raises(ValueError):
+            ledger.record_tier(0, overhead_bytes=-5)

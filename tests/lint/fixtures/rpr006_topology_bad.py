@@ -1,0 +1,7 @@
+"""Fixture: set iteration inside the topology tier (RPR006)."""
+# repro-lint: module=repro.topology.fake
+
+gateway_ids = {2, 0, 1}
+for gateway_id in gateway_ids & {0, 1}:
+    print(gateway_id)
+flush_order = list({"gw0", "gw1"})

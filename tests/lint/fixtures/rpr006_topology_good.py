@@ -1,0 +1,7 @@
+"""Fixture: sorted gateway iteration (clean for RPR006 in topology)."""
+# repro-lint: module=repro.topology.fake
+
+gateway_ids = {2, 0, 1}
+for gateway_id in sorted(gateway_ids & {0, 1}):
+    print(gateway_id)
+flush_order = sorted({"gw0", "gw1"})

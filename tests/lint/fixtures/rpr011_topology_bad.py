@@ -1,0 +1,7 @@
+"""Fixture: wall-clock reads inside the topology tier (RPR011)."""
+# repro-lint: module=repro.topology.fake
+
+import time
+
+flush_deadline = time.monotonic() + 5.0
+stamp = time.time()

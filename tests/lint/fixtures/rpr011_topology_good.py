@@ -1,0 +1,6 @@
+"""Fixture: virtual-time-only topology code (clean for RPR011)."""
+# repro-lint: module=repro.topology.fake
+
+def flush_due(now_s: float, deadline_s: float) -> bool:
+    # simulated time arrives as an argument from the event kernel
+    return now_s >= deadline_s

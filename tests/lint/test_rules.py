@@ -97,3 +97,38 @@ def test_qualify_does_not_flag_lookalike_attribute_chains():
         "    return rng.random() + obj.time.time()\n"
     )
     assert lint_source(source, "f.py") == []
+
+
+class TestTopologyScope:
+    """The gateway tier is scheduling code: RPR006/RPR011 apply there.
+
+    The ISSUE for this change labels the set-iteration rule "RPR007";
+    in this repo RPR007 is the gradient-write rule and set iteration is
+    RPR006, so these fixtures pin RPR006's scope extension instead.
+    """
+
+    @pytest.mark.parametrize(
+        "fixture, code, count",
+        [
+            ("rpr006_topology_bad.py", "RPR006", 2),
+            ("rpr011_topology_bad.py", "RPR011", 2),
+        ],
+    )
+    def test_bad_topology_fixture_flags(self, fixture, code, count):
+        findings = lint_file(FIXTURES / fixture)
+        active = [f for f in findings if not f.suppressed]
+        assert {f.code for f in active} == {code}
+        assert len(active) == count
+
+    @pytest.mark.parametrize(
+        "fixture",
+        ["rpr006_topology_good.py", "rpr011_topology_good.py"],
+    )
+    def test_good_topology_fixture_is_clean(self, fixture):
+        findings = lint_file(FIXTURES / fixture)
+        assert [f for f in findings if not f.suppressed] == []
+
+    def test_rpr006_scope_names_topology(self):
+        from repro.lint import get_rule
+
+        assert "repro.topology" in get_rule("RPR006").scope

@@ -1,0 +1,147 @@
+"""Topology data model: validation, builders, passthrough detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import FIBER, LAN
+from repro.topology import AggregationPolicy, GatewayProfile, Topology
+
+
+class TestGatewayProfile:
+    def test_links_resolve(self):
+        g = GatewayProfile(gateway_id=0, child_ids=(0, 1))
+        assert g.local_link is LAN
+        assert g.wan_link(profiles=None) is FIBER
+
+    def test_inherit_uses_child_link(self):
+        class P:
+            link = "sentinel"
+
+        g = GatewayProfile(
+            gateway_id=0, child_ids=(3,), uplink_kind="inherit"
+        )
+        assert g.wan_link({3: P()}) == "sentinel"
+
+    def test_no_children_rejected(self):
+        with pytest.raises(ValueError, match="no children"):
+            GatewayProfile(gateway_id=0, child_ids=())
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            GatewayProfile(gateway_id=0, child_ids=(1, 1))
+
+    def test_unknown_links_rejected(self):
+        with pytest.raises(ValueError, match="unknown local link"):
+            GatewayProfile(
+                gateway_id=0, child_ids=(0,), local_link_kind="carrier-pigeon"
+            )
+        with pytest.raises(ValueError, match="unknown uplink"):
+            GatewayProfile(
+                gateway_id=0, child_ids=(0,), uplink_kind="carrier-pigeon"
+            )
+
+    def test_inherit_requires_single_child(self):
+        with pytest.raises(ValueError, match="exactly one child"):
+            GatewayProfile(
+                gateway_id=0, child_ids=(0, 1), uplink_kind="inherit"
+            )
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown gateway device"):
+            GatewayProfile(gateway_id=0, child_ids=(0,), device_kind="abacus")
+
+
+class TestAggregationPolicy:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AggregationPolicy(flush_images=0)
+        with pytest.raises(ValueError):
+            AggregationPolicy(max_age_stages=0)
+
+
+class TestTopology:
+    def test_fan_out_blocks(self):
+        top = Topology.fan_out(5, 2)
+        assert [g.child_ids for g in top.gateways] == [(0, 1), (2, 3), (4,)]
+        assert top.node_ids == (0, 1, 2, 3, 4)
+
+    def test_gateway_of(self):
+        top = Topology.fan_out(4, 2)
+        assert top.gateway_of(3).gateway_id == 1
+        with pytest.raises(KeyError):
+            top.gateway_of(9)
+
+    def test_duplicate_node_claim_rejected(self):
+        with pytest.raises(ValueError, match="more than one gateway"):
+            Topology(
+                gateways=(
+                    GatewayProfile(gateway_id=0, child_ids=(0, 1)),
+                    GatewayProfile(gateway_id=1, child_ids=(1, 2)),
+                )
+            )
+
+    def test_duplicate_gateway_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate gateway ids"):
+            Topology(
+                gateways=(
+                    GatewayProfile(gateway_id=0, child_ids=(0,)),
+                    GatewayProfile(gateway_id=0, child_ids=(1,)),
+                )
+            )
+
+    def test_second_opinion_fraction_bounds(self):
+        with pytest.raises(ValueError, match="second_opinion_fraction"):
+            Topology.fan_out(2, 2, second_opinion_fraction=1.5)
+
+    def test_unknown_canary_gateway_rejected(self):
+        with pytest.raises(ValueError, match="canary gateway"):
+            Topology.fan_out(4, 2, canary_gateway_id=7)
+
+    def test_canary_defaults_to_first_gateway(self):
+        top = Topology.fan_out(4, 2)
+        assert top.canary_node_ids == (0, 1)
+
+    def test_canary_gateway_selects_region(self):
+        top = Topology.fan_out(4, 2, canary_gateway_id=1)
+        assert top.canary_node_ids == (2, 3)
+
+    def test_validate_for_checks_node_cover(self):
+        class P:
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+        top = Topology.fan_out(4, 2)
+        top.validate_for([P(i) for i in range(4)])
+        with pytest.raises(ValueError, match="topology covers"):
+            top.validate_for([P(i) for i in range(3)])
+
+
+class TestPassthrough:
+    def test_single_is_passthrough(self):
+        assert Topology.single(3).is_passthrough
+
+    def test_fan_out_is_not(self):
+        assert not Topology.fan_out(4, 2).is_passthrough
+        # even with fan-out 1: real links and aggregation still interpose
+        assert not Topology.fan_out(4, 1).is_passthrough
+
+    def test_any_active_feature_defeats_passthrough(self):
+        base = Topology.single(2)
+        gateways = base.gateways
+        assert not Topology(
+            gateways=gateways,
+            aggregation=AggregationPolicy(),  # aggregation on
+            per_transfer_overhead_bytes=0,
+        ).is_passthrough
+        assert not Topology(
+            gateways=gateways,
+            aggregation=AggregationPolicy(enabled=False),
+            per_transfer_overhead_bytes=1,  # framing overhead
+        ).is_passthrough
+        assert not Topology(
+            gateways=gateways,
+            aggregation=AggregationPolicy(enabled=False),
+            per_transfer_overhead_bytes=0,
+            second_opinion_fraction=0.1,  # gateway model
+        ).is_passthrough
