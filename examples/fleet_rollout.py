@@ -46,6 +46,32 @@ from repro.obs import MetricsRegistry, Tracer
 from repro.obs.cli import summarize
 
 
+def build_summary(report, *, mode: str) -> dict:
+    """Machine-readable summary for ``--summary-json``.
+
+    The key set and value types are schema-pinned by
+    ``tests/integration/test_fleet_rollout_summary.py`` — extend rather
+    than rename, and keep every value JSON-serializable.
+    """
+    return {
+        "mode": mode,
+        "final_accuracy": report.final_accuracy,
+        "ledger": dataclasses.asdict(report.ledger.snapshot()),
+        "rollouts": [
+            {
+                "stage_index": r.stage_index,
+                "promoted": r.promoted,
+                "canary_ids": list(r.canary_ids),
+            }
+            for r in report.rollouts
+        ],
+        "gateway_flushes": sum(1 for g in report.gateway_stages if g.flushed),
+        "second_opinion_images": sum(
+            g.resolved_images for g in report.gateway_stages
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -163,25 +189,9 @@ def main(argv: list[str] | None = None) -> None:
         )
 
     if args.summary_json is not None:
-        summary = {
-            "mode": "topology" if topology is not None else "flat",
-            "final_accuracy": report.final_accuracy,
-            "ledger": dataclasses.asdict(report.ledger.snapshot()),
-            "rollouts": [
-                {
-                    "stage_index": r.stage_index,
-                    "promoted": r.promoted,
-                    "canary_ids": list(r.canary_ids),
-                }
-                for r in report.rollouts
-            ],
-            "gateway_flushes": sum(
-                1 for g in report.gateway_stages if g.flushed
-            ),
-            "second_opinion_images": sum(
-                g.resolved_images for g in report.gateway_stages
-            ),
-        }
+        summary = build_summary(
+            report, mode="topology" if topology is not None else "flat"
+        )
         args.summary_json.write_text(
             json.dumps(summary, sort_keys=True, indent=2) + "\n",
             encoding="utf-8",

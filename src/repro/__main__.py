@@ -2,8 +2,9 @@
 
 Subcommands: ``lint`` routes to the static contract checker
 (:mod:`repro.lint`); ``obs`` to the trace summarizer/converter
-(:mod:`repro.obs.cli`); everything else is an experiment name handled by
-the report runner (:mod:`repro.reports.cli`).
+(:mod:`repro.obs.cli`); ``scenario`` to the YAML scenario engine
+(:mod:`repro.scenario.cli`); everything else is an experiment name
+handled by the report runner (:mod:`repro.reports.cli`).
 """
 
 import sys
@@ -19,6 +20,10 @@ def main() -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        from repro.scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     from repro.reports.cli import main as reports_main
 
     return reports_main(argv)

@@ -32,6 +32,7 @@ from repro.selfsup.context_net import ContextNetwork
 from repro.selfsup.jigsaw import JigsawSampler
 from repro.selfsup.permutations import PermutationSet
 from repro.selfsup.pretrain import build_context_network, pretrain
+from repro.transfer.distill import distill_classifier
 from repro.transfer.finetune import TrainResult, train_classifier
 from repro.transfer.surgery import FreezePlan, transfer_conv_weights
 
@@ -88,6 +89,14 @@ class InSituCloud:
         self.cost_spec = cost_spec
         self.shared_depth = shared_depth
         self.width = width
+        self.hidden = hidden
+        # Class-incremental knobs (scenario engine): a distill_weight > 0
+        # plus a non-empty exemplar buffer switches incremental updates to
+        # exemplar-replay distillation against the pre-update teacher.
+        self.distill_weight = 0.0
+        self.distill_temperature = 2.0
+        self.exemplar_buffer = None
+        self._teacher: Sequential | None = None
         self.context_net: ContextNetwork = build_context_network(
             permset, width=width, rng=self.rng
         )
@@ -228,16 +237,46 @@ class InSituCloud:
             if self.archive is None
             else Dataset.concat([self.archive, uploaded])
         )
-        result = train_classifier(
-            self.inference_net,
-            train_set,
-            epochs=epochs,
-            batch_size=batch_size,
-            lr=lr,
-            rng=self.rng,
-            eval_data=eval_data,
-            freeze_plan=plan,
+        distilling = (
+            self.distill_weight > 0
+            and self.exemplar_buffer is not None
+            and len(self.exemplar_buffer) > 0
         )
+        if distilling:
+            # Mix every retained exemplar into the update and hold the
+            # student near the pre-update teacher on softened outputs —
+            # the class-incremental forgetting guard.
+            train_set = Dataset.concat(
+                [train_set, self.exemplar_buffer.data]
+            )
+            teacher = self._teacher_net()
+            teacher.load_state_dict(self.inference_net.state_dict())
+            result = distill_classifier(
+                self.inference_net,
+                train_set,
+                teacher=teacher,
+                distill_weight=self.distill_weight,
+                temperature=self.distill_temperature,
+                epochs=epochs,
+                batch_size=batch_size,
+                lr=lr,
+                rng=self.rng,
+                eval_data=eval_data,
+                freeze_plan=plan,
+            )
+        else:
+            result = train_classifier(
+                self.inference_net,
+                train_set,
+                epochs=epochs,
+                batch_size=batch_size,
+                lr=lr,
+                rng=self.rng,
+                eval_data=eval_data,
+                freeze_plan=plan,
+            )
+        if self.exemplar_buffer is not None:
+            self.exemplar_buffer.add(uploaded)
         modeled_s, modeled_j = self.modeled_update_cost(
             len(train_set), epochs, freeze_depth
         )
@@ -282,3 +321,19 @@ class InSituCloud:
     def model_state(self) -> dict[str, np.ndarray]:
         """State dict to push down to the node."""
         return self.inference_net.state_dict()
+
+    def _teacher_net(self) -> Sequential:
+        """Scratch network reused as the frozen distillation teacher.
+
+        Built lazily with a fixed seed; its initialization weights are
+        irrelevant because every use overwrites them via
+        ``load_state_dict`` before predicting.
+        """
+        if self._teacher is None:
+            self._teacher = build_classifier(
+                self.num_classes,
+                np.random.default_rng(0),
+                width=self.width,
+                hidden=self.hidden,
+            )
+        return self._teacher

@@ -28,11 +28,18 @@ __all__ = ["ModelVersion", "ModelRegistry", "GuardDecision", "UpdateGuard"]
 
 @dataclass(frozen=True)
 class ModelVersion:
-    """One published model version."""
+    """One published model version.
+
+    ``track`` separates model lineages sharing one version counter: the
+    fleet-wide model lives on ``"main"``, while per-node-group
+    specializations (scenario head processes) publish on side tracks like
+    ``"head-0"`` without ever becoming the fleet-wide active model.
+    """
 
     version: int
     state: dict[str, np.ndarray]
     metadata: dict
+    track: str = "main"
 
 
 class ModelRegistry:
@@ -46,16 +53,30 @@ class ModelRegistry:
         return len(self._versions)
 
     def publish(
-        self, state: dict[str, np.ndarray], metadata: dict | None = None
+        self,
+        state: dict[str, np.ndarray],
+        metadata: dict | None = None,
+        *,
+        track: str = "main",
+        activate: bool | None = None,
     ) -> ModelVersion:
-        """Store a new version and make it active."""
+        """Store a new version; by default only ``main`` becomes active.
+
+        ``activate=None`` keeps the historical contract for the main
+        track (publish-and-activate) while side-track versions are
+        recorded without moving the active pointer.
+        """
         entry = ModelVersion(
             version=len(self._versions) + 1,
             state={k: v.copy() for k, v in state.items()},
             metadata=dict(metadata or {}),
+            track=track,
         )
         self._versions.append(entry)
-        self._active_index = len(self._versions) - 1
+        if activate is None:
+            activate = track == "main"
+        if activate:
+            self._active_index = len(self._versions) - 1
         return entry
 
     @property
@@ -71,10 +92,21 @@ class ModelRegistry:
         raise KeyError(f"no version {version}")
 
     def rollback(self) -> ModelVersion:
-        """Point 'active' at the previous version (history is kept)."""
+        """Point 'active' at the previous version *of the same track*.
+
+        Side-track versions interleaved with main publishes are skipped:
+        rolling back the fleet-wide model must never activate a
+        node-group head.  History is kept either way.
+        """
         if self._active_index is None or self._active_index == 0:
             raise LookupError("nothing to roll back to")
-        self._active_index -= 1
+        track = self._versions[self._active_index].track
+        idx = self._active_index - 1
+        while idx >= 0 and self._versions[idx].track != track:
+            idx -= 1
+        if idx < 0:
+            raise LookupError("nothing to roll back to")
+        self._active_index = idx
         return self.active
 
     def activate(self, version: int) -> ModelVersion:
@@ -86,6 +118,21 @@ class ModelRegistry:
 
     def history(self) -> list[int]:
         return [entry.version for entry in self._versions]
+
+    def versions(self, track: str | None = None) -> list[ModelVersion]:
+        """All versions, optionally restricted to one track."""
+        if track is None:
+            return list(self._versions)
+        return [entry for entry in self._versions if entry.track == track]
+
+    def latest(self, track: str) -> ModelVersion | None:
+        """Most recent version on ``track``, or None if none published."""
+        entries = self.versions(track)
+        return entries[-1] if entries else None
+
+    def tracks(self) -> list[str]:
+        """Sorted distinct track names with at least one version."""
+        return sorted({entry.track for entry in self._versions})
 
 
 @dataclass(frozen=True)

@@ -118,15 +118,27 @@ def make_dataset(
     generator: ImageGenerator,
     drift: DriftModel | None = None,
     rng: np.random.Generator,
+    classes: tuple[int, ...] | None = None,
 ) -> Dataset:
     """Generate ``count`` images with uniform class balance.
 
     ``drift=None`` produces ideal (Cloud-training-style) data; a
-    :class:`DriftModel` produces in-situ conditions.
+    :class:`DriftModel` produces in-situ conditions.  ``classes``
+    restricts sampling to a subset of class ids (class-incremental
+    streams); ``None`` keeps the full label space and is bit-identical
+    to the historical behaviour.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
-    labels = rng.integers(0, generator.num_classes, size=count)
+    if classes is None:
+        labels = rng.integers(0, generator.num_classes, size=count)
+    else:
+        pool = np.asarray(sorted(classes), dtype=np.int64)
+        if pool.size == 0:
+            raise ValueError("classes must be non-empty when given")
+        if pool.min() < 0 or pool.max() >= generator.num_classes:
+            raise ValueError("classes out of range for this generator")
+        labels = pool[rng.integers(0, pool.size, size=count)]
     images = generator.batch(labels)
     if drift is not None:
         images = drift.apply_batch(images)

@@ -60,6 +60,11 @@ class IoTStream:
         incremental updates.
     rng:
         All stage randomness.
+    class_schedule:
+        Optional per-stage tuple of allowed class ids — the
+        class-incremental arrival process.  ``None`` (default) draws
+        from the full label space at every stage, bit-identical to the
+        historical stream.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class IoTStream:
         schedule_k: tuple[int, ...] = PAPER_SCHEDULE_K,
         severities: tuple[float, ...] | None = None,
         rng: np.random.Generator | None = None,
+        class_schedule: tuple[tuple[int, ...], ...] | None = None,
     ) -> None:
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -81,6 +87,14 @@ class IoTStream:
             )
         if len(severities) != len(schedule_k):
             raise ValueError("need one severity per stage")
+        if class_schedule is not None:
+            if len(class_schedule) != len(schedule_k):
+                raise ValueError("need one class group per stage")
+            class_schedule = tuple(
+                tuple(sorted(stage_classes))
+                for stage_classes in class_schedule
+            )
+        self.class_schedule = class_schedule
         self.generator = generator
         self.scale = scale
         self.schedule_k = tuple(schedule_k)
@@ -106,7 +120,15 @@ class IoTStream:
         ):
             drift = DriftModel(severity, rng=self.rng)
             data = make_dataset(
-                new_count, generator=self.generator, drift=drift, rng=self.rng
+                new_count,
+                generator=self.generator,
+                drift=drift,
+                rng=self.rng,
+                classes=(
+                    self.class_schedule[i]
+                    if self.class_schedule is not None
+                    else None
+                ),
             )
             cumulative += new_count
             result.append(

@@ -351,78 +351,16 @@ class _EventFleet:
                 elif epoch >= len(stages):
                     break
             stage = stages[epoch % len(stages)]
-            start = self.sim.now
-            if self.acquire_time_s > 0:
-                # Sensing window: images trickle in before processing.
-                yield self.sim.timeout(len(stage.new_data) * self.acquire_time_s)
-            # Inference + diagnosis against the node's *current* version.
-            self.runtime.deployed_net.load_state_dict(self.node_states[i])
-            reseed_diagnoser(
-                self.runtime.nodes[i].diagnoser,
-                self.base.seed,
-                profile.node_id,
-                stage.index,
-            )
-            node_report = self.runtime.nodes[i].process_stage(stage)
-            compute_s = (
-                node_report.inference_time_s + node_report.diagnosis_time_s
-            )
-            compute_start = self.sim.now
-            yield self.sim.timeout(compute_s)
-            self.tracer.span(
-                "node",
-                "compute",
-                compute_start,
-                self.sim.now,
-                node=profile.node_id,
-                stage=stage.index,
-                epoch=epoch,
-                system=self.config.system_id,
-                inference_s=node_report.inference_time_s,
-                diagnosis_s=node_report.diagnosis_time_s,
-            )
-            self.tracer.event(
-                "node",
-                "diagnosis",
-                self.sim.now,
-                node=profile.node_id,
-                stage=stage.index,
-                epoch=epoch,
-                system=self.config.system_id,
-                acquired=node_report.acquired_images,
-                flagged=node_report.flagged_images,
-            )
-            # Epoch 0 is the initialization upload for every system; after
-            # that, diagnosis-based systems ship only the flagged subset.
-            if epoch == 0 or self.config.uploads_everything:
-                upload_data = stage.new_data
-                count = node_report.acquired_images
-            else:
-                upload_data = node_report.upload_data
-                count = len(upload_data)
-            upload_start, upload_done, upload_energy = yield from (
-                self._transport(
-                    i, profile, stage, epoch, upload_data, count, node_report
-                )
-            )
-            m = self.metrics
-            if m is not None:
-                sys_id = self.config.system_id
-                m.counter("fleet.epochs", system=sys_id).inc()
-                m.counter("fleet.images.acquired", system=sys_id).inc(
-                    node_report.acquired_images
-                )
-                m.counter("fleet.images.flagged", system=sys_id).inc(
-                    node_report.flagged_images
-                )
-                m.counter("fleet.images.uploaded", system=sys_id).inc(count)
-                m.histogram("fleet.upload_time_s", system=sys_id).observe(
-                    upload_done - upload_start
-                )
-            self.last_accuracy[profile.node_id] = (
-                node_report.accuracy_before_update
-            )
-            self.last_data[profile.node_id] = stage.new_data
+            outcome = yield from self._node_epoch_body(i, profile, stage, epoch)
+            (
+                start,
+                node_report,
+                compute_s,
+                count,
+                upload_start,
+                upload_done,
+                upload_energy,
+            ) = outcome
             if self.barrier:
                 # An epoch only commits once the fleet-wide round closes:
                 # a horizon that freezes the fleet mid-round must not
@@ -455,6 +393,97 @@ class _EventFleet:
                 break
             epoch += 1
         trajectory.finish_s = self.sim.now
+
+    def _node_epoch_body(self, i: int, profile, stage, epoch: int):
+        """One node epoch minus round commit: sense, compute, upload.
+
+        Extracted so scenario subclasses (stage-indexed loops, churn,
+        reconciliation) replay the exact same per-epoch sequence the flat
+        engine runs — bit-identical compute, trace, and transport — while
+        owning their own outer loop.  Returns ``(start, node_report,
+        compute_s, count, upload_start, upload_done, upload_energy)``.
+        """
+        start = self.sim.now
+        if self.acquire_time_s > 0:
+            # Sensing window: images trickle in before processing.
+            yield self.sim.timeout(len(stage.new_data) * self.acquire_time_s)
+        # Inference + diagnosis against the node's *current* version.
+        self.runtime.deployed_net.load_state_dict(self.node_states[i])
+        reseed_diagnoser(
+            self.runtime.nodes[i].diagnoser,
+            self.base.seed,
+            profile.node_id,
+            stage.index,
+        )
+        node_report = self.runtime.nodes[i].process_stage(stage)
+        compute_s = (
+            node_report.inference_time_s + node_report.diagnosis_time_s
+        )
+        compute_start = self.sim.now
+        yield self.sim.timeout(compute_s)
+        self.tracer.span(
+            "node",
+            "compute",
+            compute_start,
+            self.sim.now,
+            node=profile.node_id,
+            stage=stage.index,
+            epoch=epoch,
+            system=self.config.system_id,
+            inference_s=node_report.inference_time_s,
+            diagnosis_s=node_report.diagnosis_time_s,
+        )
+        self.tracer.event(
+            "node",
+            "diagnosis",
+            self.sim.now,
+            node=profile.node_id,
+            stage=stage.index,
+            epoch=epoch,
+            system=self.config.system_id,
+            acquired=node_report.acquired_images,
+            flagged=node_report.flagged_images,
+        )
+        # Epoch 0 is the initialization upload for every system; after
+        # that, diagnosis-based systems ship only the flagged subset.
+        if epoch == 0 or self.config.uploads_everything:
+            upload_data = stage.new_data
+            count = node_report.acquired_images
+        else:
+            upload_data = node_report.upload_data
+            count = len(upload_data)
+        upload_start, upload_done, upload_energy = yield from (
+            self._transport(
+                i, profile, stage, epoch, upload_data, count, node_report
+            )
+        )
+        m = self.metrics
+        if m is not None:
+            sys_id = self.config.system_id
+            m.counter("fleet.epochs", system=sys_id).inc()
+            m.counter("fleet.images.acquired", system=sys_id).inc(
+                node_report.acquired_images
+            )
+            m.counter("fleet.images.flagged", system=sys_id).inc(
+                node_report.flagged_images
+            )
+            m.counter("fleet.images.uploaded", system=sys_id).inc(count)
+            m.histogram("fleet.upload_time_s", system=sys_id).observe(
+                upload_done - upload_start
+            )
+        self.last_accuracy[profile.node_id] = (
+            node_report.accuracy_before_update
+        )
+        self.last_data[profile.node_id] = stage.new_data
+        return (
+            start,
+            node_report,
+            compute_s,
+            count,
+            upload_start,
+            upload_done,
+            upload_energy,
+        )
 
     def _round_event(self, round_index: int):
         ev = self._round_events.get(round_index)

@@ -654,6 +654,7 @@ def _node_stage_records(
     system_id: str,
     t0: float,
     tier: str | None = None,
+    extra: dict | None = None,
 ) -> list[TraceRecord]:
     """Trace records for one node's stage, stamped at virtual time ``t0``.
 
@@ -665,9 +666,13 @@ def _node_stage_records(
 
     ``tier`` tags the records for hierarchical runs; flat runs pass
     ``None`` and their record bytes carry no tier attribute at all.
+    ``extra`` adds further attributes the same way (scenario runs tag
+    records with their phase); ``None`` leaves the bytes untouched.
     """
     compute_s = node_report.inference_time_s + node_report.diagnosis_time_s
     tier_attrs = {} if tier is None else {"tier": tier}
+    if extra:
+        tier_attrs.update(extra)
     return [
         make_span(
             "node",
@@ -716,9 +721,12 @@ def _fleet_worker_stage(
     worker runs which task.  ``trace_t0`` (the stage's virtual start time)
     is non-None only when the parent is tracing; the worker then returns
     its own trace buffer for deterministic merging.  ``tier`` tags the
-    records for hierarchical runs (None on the flat path).
+    records for hierarchical runs (None on the flat path).  An optional
+    sixth task element carries extra record attributes (scenario phase
+    tags); legacy five-element tasks are accepted unchanged.
     """
-    node_index, stage_index, active_state, trace_t0, tier = task
+    node_index, stage_index, active_state, trace_t0, tier, *rest = task
+    extra = rest[0] if rest else None
     runtime = _WORKER_STATE["runtime"]
     assets = _WORKER_STATE["assets"]
     runtime.deployed_net.load_state_dict(active_state)
@@ -741,6 +749,7 @@ def _fleet_worker_stage(
             system_id=runtime.config.system_id,
             t0=trace_t0,
             tier=tier,
+            extra=extra,
         )
         if trace_t0 is not None
         else None

@@ -630,10 +630,12 @@ def _is_set_expr(ctx: "FileContext", node: ast.AST) -> bool:
 
 class _NoSetIteration(Rule):
     def applies(self, ctx: "FileContext") -> bool:
-        # repro.topology schedules gateway flushes and WAN flows, so it
-        # is scheduling code in exactly the RPR006 sense.
+        # repro.topology schedules gateway flushes and WAN flows, and
+        # repro.scenario drives churn/phase/head schedules into both
+        # fleet engines, so both are scheduling code in exactly the
+        # RPR006 sense.
         return ctx.in_module(
-            "repro.fleet", "repro.events", "repro.topology"
+            "repro.fleet", "repro.events", "repro.topology", "repro.scenario"
         )
 
     def check(self, ctx: "FileContext") -> Iterator["Finding"]:
@@ -673,7 +675,7 @@ _register(
             "hash-ordered sets couples trajectories to PYTHONHASHSEED "
             "and process boundaries"
         ),
-        scope="repro.fleet, repro.events, and repro.topology",
+        scope="repro.fleet, repro.events, repro.topology, and repro.scenario",
     )
 )
 

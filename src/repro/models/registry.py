@@ -15,7 +15,43 @@ import numpy as np
 from repro.models.iot_models import build_classifier
 from repro.nn import Sequential
 
-__all__ = ["ModelConfig", "MODEL_CONFIGS", "build_model"]
+__all__ = [
+    "FC_LAYER_NAMES",
+    "ModelConfig",
+    "MODEL_CONFIGS",
+    "build_model",
+    "merge_head_state",
+    "split_head_state",
+]
+
+#: the node-specific FC head of the shared-trunk classifier — the layers a
+#: per-node-group specialization retrains while the CONV trunk stays shared
+FC_LAYER_NAMES = ("fc6", "fc7", "fc8")
+
+
+def _is_head_key(key: str) -> bool:
+    return key.split(".", 1)[0] in FC_LAYER_NAMES
+
+
+def split_head_state(
+    state: dict[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Split a classifier state dict into (trunk, fc-head) parts."""
+    trunk = {k: v for k, v in state.items() if not _is_head_key(k)}
+    head = {k: v for k, v in state.items() if _is_head_key(k)}
+    return trunk, head
+
+
+def merge_head_state(
+    shared: dict[str, np.ndarray], head: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Overlay a specialized FC head onto a shared full state dict."""
+    for key in head:
+        if not _is_head_key(key):
+            raise ValueError(f"{key!r} is not an FC-head parameter")
+    merged = dict(shared)
+    merged.update(head)
+    return merged
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,9 @@ Subcommands:
     One-screen timeline summary: record counts, the virtual-time
     window, per-category busy time, and per-node activity.  Traces from
     hierarchical-topology runs additionally group the timeline by tier
-    (edge / gateway / cloud, from the records' ``tier`` attribute).
+    (edge / gateway / cloud, from the records' ``tier`` attribute), and
+    scenario-engine traces group it by class-incremental phase (from the
+    records' ``phase`` attribute).
 
 ``convert TRACE -o OUT [--format chrome]``
     Re-export a schema-v1 JSONL trace, e.g. to the Chrome
@@ -47,6 +49,9 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
     by_tier: dict[str, dict] = defaultdict(
         lambda: {"spans": 0, "events": 0, "busy": 0.0}
     )
+    by_phase: dict[str, dict] = defaultdict(
+        lambda: {"spans": 0, "events": 0, "busy": 0.0}
+    )
     for r in records:
         row = by_cat[f"{r.cat}.{r.name}"]
         if r.kind == "span":
@@ -66,6 +71,14 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
                 trow["busy"] += r.duration_s
             else:
                 trow["events"] += 1
+        phase = _attr(r, "phase")
+        if phase is not None:
+            prow = by_phase[str(phase)]
+            if r.kind == "span":
+                prow["spans"] += 1
+                prow["busy"] += r.duration_s
+            else:
+                prow["events"] += 1
 
     lines = [
         f"records: {len(records)} ({len(spans)} spans, {len(events)} events)",
@@ -98,6 +111,19 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
             row = by_tier[tier]
             lines.append(
                 f"{tier:<10} {row['spans']:>6} {row['events']:>7} "
+                f"{row['busy']:>10.3f}"
+            )
+    if by_phase:
+        # Phase tags appear only on scenario-engine traces (class-
+        # incremental phases); other traces keep the layout untouched.
+        lines += [
+            "",
+            f"{'phase':<10} {'spans':>6} {'events':>7} {'busy s':>10}",
+        ]
+        for phase in sorted(by_phase):
+            row = by_phase[phase]
+            lines.append(
+                f"{phase:<10} {row['spans']:>6} {row['events']:>7} "
                 f"{row['busy']:>10.3f}"
             )
     if by_node:

@@ -448,7 +448,9 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Regenerate the paper's analytical tables and figures, or run "
             "the beyond-the-paper fleet simulation ('fleet'). Training-based "
-            "paper experiments run via 'pytest benchmarks/ --benchmark-only'."
+            "paper experiments run via 'pytest benchmarks/ --benchmark-only'. "
+            "YAML-driven scenario runs (churn, class-incremental phases, "
+            "per-node heads) live under 'python -m repro scenario'."
         ),
     )
     parser.add_argument(

@@ -1,0 +1,58 @@
+"""YAML-driven scenario engine: churn, class phases, per-node heads.
+
+A *scenario* composes seeded processes — node crash/rejoin churn,
+class-incremental data arrival phases, and per-node-group head
+specialization — onto the fleet engines.  The YAML spec is validated
+with line-anchored errors (:mod:`repro.scenario.schema`), the processes
+are materialized as pure seeded plans (:mod:`repro.scenario.processes`),
+and the same plans drive both the lockstep engine
+(:mod:`repro.scenario.lockstep`) and the event engine
+(:mod:`repro.scenario.event`) — with ``barrier: true`` the two agree on
+accuracy trajectories, byte ledgers, and registry history exactly.
+
+``python -m repro scenario run <yaml>`` runs replicates and emits a
+byte-stable summary JSON with seeded bootstrap confidence intervals.
+"""
+
+from repro.scenario.assets import prepare_scenario_assets
+from repro.scenario.event import ScenarioEventFleet, run_scenario_event
+from repro.scenario.heads import HeadUpdate, run_head_updates
+from repro.scenario.lockstep import run_scenario_lockstep
+from repro.scenario.processes import (
+    ChurnPlan,
+    ClassPhasePlan,
+    HeadGroupPlan,
+    ScenarioPlans,
+    build_plans,
+)
+from repro.scenario.report import ScenarioReport, ScenarioStageInfo
+from repro.scenario.schema import (
+    ScenarioError,
+    ScenarioSpec,
+    load_spec,
+    load_spec_file,
+)
+from repro.scenario.summary import build_summary, run_replicate, summary_json
+
+__all__ = [
+    "ChurnPlan",
+    "ClassPhasePlan",
+    "HeadGroupPlan",
+    "HeadUpdate",
+    "ScenarioError",
+    "ScenarioEventFleet",
+    "ScenarioPlans",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "ScenarioStageInfo",
+    "build_plans",
+    "build_summary",
+    "load_spec",
+    "load_spec_file",
+    "prepare_scenario_assets",
+    "run_head_updates",
+    "run_replicate",
+    "run_scenario_event",
+    "run_scenario_lockstep",
+    "summary_json",
+]

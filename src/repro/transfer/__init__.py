@@ -1,8 +1,10 @@
 """Transfer learning and incremental model updates."""
 
+from repro.transfer.distill import DistillationLoss, distill_classifier
 from repro.transfer.finetune import (
     TrainResult,
     evaluate,
+    evaluate_on_classes,
     split_at_frozen_prefix,
     train_classifier,
 )
@@ -18,11 +20,14 @@ from repro.transfer.surgery import (
 )
 
 __all__ = [
+    "DistillationLoss",
     "FreezePlan",
     "ReplayBuffer",
     "TrainResult",
     "UpdateOutcome",
+    "distill_classifier",
     "evaluate",
+    "evaluate_on_classes",
     "incremental_update",
     "reinitialize_above",
     "split_at_frozen_prefix",

@@ -1,0 +1,154 @@
+"""Knowledge-distillation fine-tuning for class-incremental updates.
+
+When a stream introduces new class groups mid-run, naive fine-tuning on
+the new arrivals catastrophically forgets the old groups.  The standard
+remedy (LwF / iCaRL-style, cf. the IncrementalLearner exemplars in
+SNIPPETS.md and the on-device-learning papers in PAPERS.md) is to keep a
+small exemplar buffer of old-group samples and add a distillation term
+that holds the student's softened predictions close to the pre-update
+teacher's.
+
+The combined objective per batch of size ``B`` is::
+
+    L = CE(student, labels) + w * T^2 * H(softmax(teacher/T), softmax(student/T))
+
+whose logit gradient is ``(p - y)/B + w * T * (q_s - q_t)/B`` — both
+terms are computed here in closed form and summed into one backward
+pass, matching the repo's fused-loss idiom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.nn import SGD, Sequential
+from repro.nn.activations import softmax
+from repro.obs.clock import perf_counter
+from repro.transfer.finetune import TrainResult, evaluate
+from repro.transfer.surgery import FreezePlan
+
+__all__ = ["DistillationLoss", "distill_classifier"]
+
+
+class DistillationLoss:
+    """Fused cross-entropy + softened teacher cross-entropy.
+
+    ``forward`` returns the combined mean loss; ``backward`` returns its
+    gradient w.r.t. the *student* logits.  The distillation term carries
+    the conventional ``T^2`` factor so its gradient magnitude stays
+    comparable across temperatures.
+    """
+
+    def __init__(self, distill_weight: float, temperature: float = 2.0) -> None:
+        if distill_weight < 0:
+            raise ValueError("distill_weight must be >= 0")
+        if temperature <= 0:
+            raise ValueError("temperature must be > 0")
+        self.distill_weight = distill_weight
+        self.temperature = temperature
+        self._cache = None
+
+    def forward(
+        self,
+        student_logits: np.ndarray,
+        teacher_logits: np.ndarray,
+        labels: np.ndarray,
+    ) -> float:
+        labels = np.asarray(labels)
+        if student_logits.shape != teacher_logits.shape:
+            raise ValueError("student/teacher logits shapes differ")
+        if labels.shape != (student_logits.shape[0],):
+            raise ValueError("labels shape does not match batch")
+        probs = softmax(student_logits, axis=1)
+        picked = probs[np.arange(len(labels)), labels]
+        hard = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+        t = self.temperature
+        soft_student = softmax(student_logits / t, axis=1)
+        soft_teacher = softmax(teacher_logits / t, axis=1)
+        soft = float(
+            -(soft_teacher * np.log(np.clip(soft_student, 1e-12, None)))
+            .sum(axis=1)
+            .mean()
+        )
+        self._cache = (probs, soft_student, soft_teacher, labels)
+        return hard + self.distill_weight * t * t * soft
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, soft_student, soft_teacher, labels = self._cache
+        self._cache = None
+        batch = len(labels)
+        grad = probs.copy()
+        grad[np.arange(batch), labels] -= 1.0
+        # d/dz of T^2 * H(q_t, softmax(z/T)) = T * (q_s - q_t)
+        grad += (
+            self.distill_weight
+            * self.temperature
+            * (soft_student - soft_teacher)
+        )
+        return grad / batch
+
+    def __call__(self, student_logits, teacher_logits, labels) -> float:
+        return self.forward(student_logits, teacher_logits, labels)
+
+
+def distill_classifier(
+    net: Sequential,
+    train_data: Dataset,
+    *,
+    teacher: Sequential,
+    distill_weight: float = 1.0,
+    temperature: float = 2.0,
+    epochs: int = 3,
+    batch_size: int = 32,
+    lr: float = 0.01,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    rng: np.random.Generator | None = None,
+    eval_data: Dataset | None = None,
+    freeze_plan: FreezePlan | None = None,
+) -> TrainResult:
+    """Fine-tune ``net`` under the combined hard + distillation loss.
+
+    ``teacher`` is a frozen snapshot of the pre-update model; its logits
+    are recomputed per batch (no feature caching — the trainable region
+    usually reaches into conv layers during class-incremental updates,
+    and the exemplar-augmented datasets are small).
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if len(train_data) == 0:
+        raise ValueError("cannot distill on an empty dataset")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if freeze_plan is not None:
+        freeze_plan.apply(net)
+
+    started = perf_counter()
+    result = TrainResult(network=net)
+    loss_fn = DistillationLoss(distill_weight, temperature)
+    optimizer = SGD(
+        net.parameters, lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    inputs, labels = train_data.images, train_data.labels
+    for _ in range(epochs):
+        order = rng.permutation(len(labels))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(labels), batch_size):
+            idx = order[start : start + batch_size]
+            x, y = inputs[idx], labels[idx]
+            teacher_logits = teacher.predict(x)
+            logits = net.forward(x, training=True)
+            epoch_loss += loss_fn(logits, teacher_logits, y)
+            batches += 1
+            net.zero_grad()
+            net.backward(loss_fn.backward())
+            optimizer.step()
+            result.sample_steps += len(idx)
+        result.losses.append(epoch_loss / max(1, batches))
+        if eval_data is not None:
+            result.eval_accuracies.append(evaluate(net, eval_data))
+    result.wall_time_s = perf_counter() - started
+    return result

@@ -19,7 +19,12 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.clock import perf_counter
 from repro.transfer.surgery import FreezePlan
 
-__all__ = ["TrainResult", "split_at_frozen_prefix", "train_classifier"]
+__all__ = [
+    "TrainResult",
+    "evaluate_on_classes",
+    "split_at_frozen_prefix",
+    "train_classifier",
+]
 
 
 @dataclass
@@ -159,3 +164,23 @@ def evaluate(net: Sequential, data: Dataset, *, batch_size: int = 128) -> float:
     for x, y in data.batches(batch_size):
         correct += int((net.predict(x).argmax(axis=1) == y).sum())
     return correct / len(data)
+
+
+def evaluate_on_classes(
+    net: Sequential,
+    data: Dataset,
+    classes,
+    *,
+    batch_size: int = 128,
+) -> float:
+    """Top-1 accuracy restricted to samples whose label is in ``classes``.
+
+    The class-incremental scenarios report per-phase accuracy this way:
+    the eval set stays fixed across phases, and each class group's slice
+    is scored separately so forgetting on early groups is visible.
+    """
+    mask = np.isin(data.labels, np.asarray(sorted(classes), dtype=np.int64))
+    if not mask.any():
+        raise ValueError(f"eval data contains no samples of classes {classes}")
+    subset = data.subset(np.flatnonzero(mask))
+    return evaluate(net, subset, batch_size=batch_size)

@@ -34,6 +34,16 @@ class ReplayBuffer:
     def __len__(self) -> int:
         return 0 if self._data is None else len(self._data)
 
+    @property
+    def data(self) -> Dataset | None:
+        """The whole buffer, without consuming the sampling RNG.
+
+        Exemplar-replay distillation mixes *every* retained exemplar into
+        the update (the buffer is already capacity-bounded), so drawing a
+        random subset would only add nondeterminism surface.
+        """
+        return self._data
+
     def add(self, data: Dataset) -> None:
         if self.capacity == 0 or len(data) == 0:
             return

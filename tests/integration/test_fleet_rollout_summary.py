@@ -1,0 +1,105 @@
+"""Schema pin for ``examples/fleet_rollout.py --summary-json``.
+
+The summary JSON is the machine-readable contract downstream tooling
+(CI smoke diffs, notebook loaders) reads, so its key set and value
+types are pinned here against ``build_summary`` directly — no
+subprocess run needed.  Renaming or retyping a key must fail this test
+before it silently breaks a consumer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.comm.movement import DataMovementLedger, LedgerTotals
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture(scope="module")
+def fleet_rollout():
+    spec = importlib.util.spec_from_file_location(
+        "fleet_rollout_example", EXAMPLES / "fleet_rollout.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def stub_report() -> SimpleNamespace:
+    ledger = DataMovementLedger(image_bytes=100)
+    ledger.record(0, acquired=10, uploaded=4)
+    ledger.record_download(0, 1234)
+    return SimpleNamespace(
+        final_accuracy=0.75,
+        ledger=ledger,
+        rollouts=[
+            SimpleNamespace(stage_index=1, promoted=True, canary_ids=(0, 2)),
+            SimpleNamespace(stage_index=2, promoted=False, canary_ids=(0,)),
+        ],
+        gateway_stages=[
+            SimpleNamespace(flushed=True, resolved_images=3),
+            SimpleNamespace(flushed=False, resolved_images=0),
+        ],
+    )
+
+
+TOP_LEVEL_SCHEMA = {
+    "mode": str,
+    "final_accuracy": float,
+    "ledger": dict,
+    "rollouts": list,
+    "gateway_flushes": int,
+    "second_opinion_images": int,
+}
+
+ROLLOUT_SCHEMA = {
+    "stage_index": int,
+    "promoted": bool,
+    "canary_ids": list,
+}
+
+
+class TestSummarySchema:
+    def test_key_set_and_types_are_pinned(self, fleet_rollout):
+        summary = fleet_rollout.build_summary(stub_report(), mode="flat")
+        assert set(summary) == set(TOP_LEVEL_SCHEMA)
+        for key, expected in TOP_LEVEL_SCHEMA.items():
+            assert isinstance(summary[key], expected), key
+
+    def test_ledger_block_mirrors_ledger_totals(self, fleet_rollout):
+        summary = fleet_rollout.build_summary(stub_report(), mode="topology")
+        expected = {f.name for f in dataclasses.fields(LedgerTotals)}
+        assert set(summary["ledger"]) == expected
+        assert all(
+            isinstance(v, int) for v in summary["ledger"].values()
+        )
+
+    def test_rollout_entries_are_pinned(self, fleet_rollout):
+        summary = fleet_rollout.build_summary(stub_report(), mode="flat")
+        assert len(summary["rollouts"]) == 2
+        for entry in summary["rollouts"]:
+            assert set(entry) == set(ROLLOUT_SCHEMA)
+            for key, expected in ROLLOUT_SCHEMA.items():
+                assert isinstance(entry[key], expected), key
+        assert all(
+            isinstance(i, int)
+            for entry in summary["rollouts"]
+            for i in entry["canary_ids"]
+        )
+
+    def test_summary_is_json_round_trippable(self, fleet_rollout):
+        summary = fleet_rollout.build_summary(stub_report(), mode="flat")
+        text = json.dumps(summary, sort_keys=True, indent=2)
+        assert json.loads(text) == summary
+
+    def test_aggregates_derive_from_gateway_stages(self, fleet_rollout):
+        summary = fleet_rollout.build_summary(stub_report(), mode="topology")
+        assert summary["gateway_flushes"] == 1
+        assert summary["second_opinion_images"] == 3

@@ -1,0 +1,7 @@
+"""Fixture: set iteration inside the scenario tier (RPR006)."""
+# repro-lint: module=repro.scenario.fake
+
+alive_ids = {3, 1, 2}
+for node_id in alive_ids - {2}:
+    print(node_id)
+reconcile_order = list({"n0", "n1"})

@@ -1,0 +1,7 @@
+"""Fixture: sorted iteration in the scenario tier (clean for RPR006)."""
+# repro-lint: module=repro.scenario.fake
+
+alive_ids = {3, 1, 2}
+for node_id in sorted(alive_ids - {2}):
+    print(node_id)
+reconcile_order = sorted({"n0", "n1"})

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock reads inside the scenario tier (RPR011)."""
+# repro-lint: module=repro.scenario.fake
+
+import time
+
+phase_started = time.time()
+outage_deadline = time.monotonic() + 2.0

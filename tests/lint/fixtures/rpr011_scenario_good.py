@@ -1,0 +1,6 @@
+"""Fixture: virtual-time-only scenario code (clean for RPR011)."""
+# repro-lint: module=repro.scenario.fake
+
+def outage_over(now_s: float, rejoin_s: float) -> bool:
+    # simulated time arrives as an argument from the event kernel
+    return now_s >= rejoin_s

@@ -75,3 +75,22 @@ class TestCli:
         ):
             assert module_main() == 0
         assert "records: 4" in capsys.readouterr().out
+
+
+class TestPhaseTable:
+    def test_phase_table_renders_for_scenario_traces(self):
+        tracer = Tracer()
+        tracer.span("node", "compute", 0.0, 2.0, node=0, stage=0, phase="p0")
+        tracer.span("node", "compute", 2.0, 3.0, node=0, stage=1, phase="p1")
+        tracer.event("scenario", "stage", 3.0, stage=1, phase="p1")
+        text = summarize(tracer.records)
+        lines = text.splitlines()
+        assert any(line.startswith("phase") for line in lines)
+        assert any(line.startswith("p0") for line in lines)
+        assert any(line.startswith("p1") for line in lines)
+
+    def test_phaseless_traces_keep_the_old_layout(self, trace_path):
+        text = summarize(read_jsonl(trace_path))
+        assert not any(
+            line.startswith("phase") for line in text.splitlines()
+        )

@@ -1,0 +1,145 @@
+"""Summary determinism and the `python -m repro scenario` CLI.
+
+The summary JSON is the scenario engine's published artifact: CI diffs
+two back-to-back runs byte-for-byte, so its determinism — across reruns
+AND across lockstep worker counts — is pinned here, along with the
+replicate seeding scheme that makes bootstrap CIs reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import build_summary, load_spec, summary_json
+from repro.scenario.cli import main as scenario_main
+from repro.scenario.summary import replicate_seed, replicate_spec
+
+SMALL_YAML = """\
+scenario:
+  name: summary-small
+  seed: 3
+  engine: lockstep
+
+fleet:
+  nodes: 2
+  stages: 3
+  base:
+    stream_scale: 0.02
+    pretrain_images: 32
+    pretrain_epochs: 1
+    init_epochs: 2
+    update_epochs: 1
+    eval_images: 32
+
+processes:
+  churn:
+    rate: 0.4
+
+replicates:
+  count: 2
+  bootstrap_samples: 50
+"""
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return load_spec(SMALL_YAML, filename="small.yaml")
+
+
+class TestReplicateSeeding:
+    def test_replicate_zero_is_the_spec_itself(self, small_spec):
+        assert replicate_spec(small_spec, 0) is small_spec
+        assert replicate_seed(small_spec, 0) == small_spec.seed
+
+    def test_later_replicates_reseed_everything(self, small_spec):
+        spec1 = replicate_spec(small_spec, 1)
+        assert spec1.seed == replicate_seed(small_spec, 1) != small_spec.seed
+        assert spec1.fleet.seed == spec1.seed
+        assert spec1.fleet.base.seed == spec1.seed
+
+    def test_seeds_are_distinct_across_replicates(self, small_spec):
+        seeds = [replicate_seed(small_spec, r) for r in range(8)]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSummaryDeterminism:
+    @pytest.fixture(scope="class")
+    def summary(self, small_spec):
+        return build_summary(small_spec)
+
+    def test_byte_identical_across_reruns_and_workers(
+        self, small_spec, summary
+    ):
+        again = build_summary(small_spec, workers=2)
+        assert summary_json(again) == summary_json(summary)
+
+    def test_shape(self, small_spec, summary):
+        assert summary["schema"] == 1
+        assert summary["scenario"]["name"] == "summary-small"
+        assert summary["scenario"]["processes"] == ["churn"]
+        assert summary["replicates"]["count"] == 2
+        assert len(summary["per_replicate"]) == 2
+        for name, entry in summary["metrics"].items():
+            assert len(entry["values"]) == 2
+            assert entry["ci_lo"] <= entry["mean"] <= entry["ci_hi"], name
+
+    def test_json_is_sorted_and_newline_terminated(self, summary):
+        text = summary_json(summary)
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(
+            json.dumps(summary, sort_keys=True)
+        )
+
+
+class TestCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        path = tmp_path / "ok.yaml"
+        path.write_text(SMALL_YAML)
+        assert scenario_main(["validate", str(path)]) == 0
+        assert "summary-small" in capsys.readouterr().out
+
+    def test_validate_error_points_at_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("scenario:\n  name: x\n  engine: warp\n")
+        assert scenario_main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "error:" in out and "bad.yaml:3" in out
+
+    def test_list_flags_invalid_files(self, tmp_path, capsys):
+        (tmp_path / "ok.yaml").write_text(SMALL_YAML)
+        (tmp_path / "bad.yaml").write_text("nonsense\n")
+        assert scenario_main(["list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "summary-small" in out
+        assert "INVALID" in out
+
+    def test_run_writes_summary_and_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.yaml"
+        path.write_text(SMALL_YAML)
+        out_json = tmp_path / "summary.json"
+        trace = tmp_path / "trace.jsonl"
+        code = scenario_main(
+            [
+                "run",
+                str(path),
+                "--out",
+                str(out_json),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(out_json.read_text())
+        assert summary["scenario"]["name"] == "summary-small"
+        lines = trace.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        stdout = capsys.readouterr().out
+        assert "final_eval_accuracy" in stdout
+
+    def test_run_rejects_bad_engine(self, tmp_path):
+        path = tmp_path / "run.yaml"
+        path.write_text(SMALL_YAML)
+        with pytest.raises(SystemExit):
+            scenario_main(["run", str(path), "--engine", "warp"])
