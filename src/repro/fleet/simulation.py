@@ -22,11 +22,13 @@ discipline ``core.simulation.run_all_systems`` applies per node.
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.fleet.pool import FleetWorkerPool
 
 from repro.comm.link import JPEG_IMAGE_BYTES
 from repro.comm.movement import DataMovementLedger
@@ -70,6 +72,7 @@ __all__ = [
     "build_fleet_runtime",
     "cloud_initialize",
     "cloud_try_update",
+    "pooled_node_stage",
     "prepare_fleet_assets",
     "reseed_diagnoser",
     "run_fleet",
@@ -700,61 +703,40 @@ def _node_stage_records(
     ]
 
 
-# Per-process state for fleet worker processes, set up once by
-# _fleet_worker_init and reused by every _fleet_worker_stage task.
-_WORKER_STATE: dict = {}
+def pooled_node_stage(
+    pool: "FleetWorkerPool",
+    system_id: str,
+    stage_index: int,
+    node_items: list[tuple[int, dict[str, np.ndarray]]],
+    *,
+    trace_t0: float | None = None,
+    tier: str | None = None,
+    extra: dict | None = None,
+) -> dict[int, tuple]:
+    """Run one stage's per-node compute on the persistent worker pool.
 
-
-def _fleet_worker_init(config: SystemConfig, assets: FleetAssets) -> None:
-    _WORKER_STATE["runtime"] = build_fleet_runtime(config, assets)
-    _WORKER_STATE["assets"] = assets
-
-
-def _fleet_worker_stage(
-    task: tuple[int, int, dict[str, np.ndarray], float | None, str | None]
-) -> tuple[int, "NodeReport", list[TraceRecord] | None]:
-    """Run one node's stage in a worker process.
-
-    The active model state rides along in the task so workers never hold
-    stale versions; diagnosis randomness is reseeded per (node, stage), so
-    the result is bit-identical to the serial path regardless of which
-    worker runs which task.  ``trace_t0`` (the stage's virtual start time)
-    is non-None only when the parent is tracing; the worker then returns
-    its own trace buffer for deterministic merging.  ``tier`` tags the
-    records for hierarchical runs (None on the flat path).  An optional
-    sixth task element carries extra record attributes (scenario phase
-    tags); legacy five-element tasks are accepted unchanged.
+    The shared seam all three lockstep engines dispatch through:
+    ``node_items`` pairs each node index with the model state it should
+    run under.  States are published into the pool's shared-memory
+    weights block (interned — republishing the same dict object is
+    free), so tasks carry only ``(node_index, generation)`` plus the
+    trace stamps.  Returns ``{node_index: (NodeReport, records)}``;
+    callers iterate node indices in fixed order, which keeps reports and
+    trace bytes identical to the serial path at any worker count.
     """
-    node_index, stage_index, active_state, trace_t0, tier, *rest = task
-    extra = rest[0] if rest else None
-    runtime = _WORKER_STATE["runtime"]
-    assets = _WORKER_STATE["assets"]
-    runtime.deployed_net.load_state_dict(active_state)
-    node = runtime.nodes[node_index]
-    profile = assets.profiles[node_index]
-    reseed_diagnoser(
-        node.diagnoser,
-        assets.scenario.base.seed,
-        profile.node_id,
-        stage_index,
-    )
-    node_report = node.process_stage(
-        assets.node_stages[node_index][stage_index]
-    )
-    records = (
-        _node_stage_records(
-            node_report,
-            stage_index=stage_index,
-            node_id=profile.node_id,
-            system_id=runtime.config.system_id,
-            t0=trace_t0,
+    from repro.fleet.pool import PoolTask
+
+    tasks = [
+        PoolTask(
+            node_index=i,
+            state=pool.publish(state),
+            trace_t0=trace_t0,
             tier=tier,
             extra=extra,
         )
-        if trace_t0 is not None
-        else None
-    )
-    return node_index, node_report, records
+        for i, state in node_items
+    ]
+    return pool.run_stage(system_id, stage_index, tasks)
 
 
 def run_fleet(
@@ -765,13 +747,24 @@ def run_fleet(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     topology=None,
+    pool: "FleetWorkerPool | None" = None,
 ) -> FleetReport:
     """Replay the whole fleet schedule for one system variant.
 
     ``workers > 1`` runs the per-node inference/diagnosis epochs on a
-    spawn-based process pool.  Results are keyed by node index and merged
-    in fixed node order, and all diagnosis randomness is seeded per
-    (node, stage), so every worker count produces bit-identical reports.
+    persistent :class:`repro.fleet.pool.FleetWorkerPool`: workers attach
+    once to shared-memory segments holding the assets and the active
+    model weights, and each stage ships only small (node, generation)
+    work items in per-worker chunks.  Results are keyed by node index
+    and merged in fixed node order, and all diagnosis randomness is
+    seeded per (node, stage), so every worker count produces
+    bit-identical reports.
+
+    ``pool`` reuses an existing pool (it must have been built over these
+    same ``assets``) instead of creating one per call — this is how
+    :func:`run_fleet_all_systems` amortizes one pool across all four
+    system variants.  A pool created here is shut down — segments
+    unlinked — before returning, whether the run completes or raises.
 
     ``tracer`` collects virtual-time spans for the whole run (stage spans
     are stamped from the reconstructed lockstep timeline, so the stream is
@@ -786,6 +779,8 @@ def run_fleet(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if pool is not None and pool.assets is not assets:
+        raise ValueError("pool was built over different FleetAssets")
     if topology is not None:
         topology.validate_for(assets.profiles)
     hierarchical = topology is not None and not topology.is_passthrough
@@ -796,16 +791,12 @@ def run_fleet(
         metrics=metrics,
         canary_ids=topology.canary_node_ids if hierarchical else None,
     )
-    executor = (
-        ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context("spawn"),
-            initializer=_fleet_worker_init,
-            initargs=(config, assets),
-        )
-        if workers > 1
-        else None
-    )
+    owned_pool = None
+    if pool is None and workers > 1:
+        # Imported here: repro.fleet.pool imports this module.
+        from repro.fleet.pool import FleetWorkerPool
+
+        pool = owned_pool = FleetWorkerPool(assets, workers)
     try:
         with obs_metrics.use(metrics):
             if hierarchical:
@@ -818,19 +809,19 @@ def run_fleet(
                     runtime,
                     topology,
                     uplink,
-                    executor,
+                    pool,
                     tracer=tracer,
                 )
             report = _run_fleet_schedule(
-                config, assets, runtime, uplink, executor, tracer=tracer
+                config, assets, runtime, uplink, pool, tracer=tracer
             )
             # A passthrough topology executed the flat path verbatim;
             # still record what was asked for.
             report.topology = topology
             return report
     finally:
-        if executor is not None:
-            executor.shutdown()
+        if owned_pool is not None:
+            owned_pool.shutdown()
 
 
 def _run_fleet_schedule(
@@ -838,7 +829,7 @@ def _run_fleet_schedule(
     assets: FleetAssets,
     runtime: FleetRuntime,
     uplink: SharedUplink,
-    executor: ProcessPoolExecutor | None,
+    pool: "FleetWorkerPool | None",
     *,
     tracer: Tracer | None = None,
 ) -> FleetReport:
@@ -867,7 +858,7 @@ def _run_fleet_schedule(
         active_state = (
             registry.active.state if len(registry) else assets.initial_state
         )
-        if executor is None:
+        if pool is None:
             deployed_net.load_state_dict(active_state)
             node_reports = []
             for i in range(len(profiles)):
@@ -892,16 +883,13 @@ def _run_fleet_schedule(
                         )
                     )
         else:
-            futures = [
-                executor.submit(
-                    _fleet_worker_stage, (i, s, active_state, trace_t0, None)
-                )
-                for i in range(len(profiles))
-            ]
-            by_index = {}
-            for future in futures:
-                node_index, node_report, records = future.result()
-                by_index[node_index] = (node_report, records)
+            by_index = pooled_node_stage(
+                pool,
+                config.system_id,
+                s,
+                [(i, active_state) for i in range(len(profiles))],
+                trace_t0=trace_t0,
+            )
             node_reports = []
             for i in range(len(profiles)):
                 node_report, records = by_index[i]
@@ -1123,16 +1111,32 @@ def run_fleet_all_systems(
     A shared ``tracer``/``metrics`` collects all four variants into one
     stream; every record carries a ``system`` attribute or label, so the
     variants stay separable downstream.
+
+    ``workers > 1`` builds **one** worker pool and reuses it for all
+    four variants (workers cache one runtime per system id), so the
+    spawn/attach cost is paid once per sweep rather than once per
+    variant.  The pool is shut down — and its shared-memory segments
+    unlinked — before returning, also on exceptions.
     """
     assets = prepare_fleet_assets(scenario)
-    return {
-        config.system_id: run_fleet(
-            config,
-            assets,
-            workers=workers,
-            tracer=tracer,
-            metrics=metrics,
-            topology=topology,
-        )
-        for config in SYSTEMS
-    }
+    pool = None
+    if workers > 1:
+        from repro.fleet.pool import FleetWorkerPool
+
+        pool = FleetWorkerPool(assets, workers)
+    try:
+        return {
+            config.system_id: run_fleet(
+                config,
+                assets,
+                workers=workers,
+                tracer=tracer,
+                metrics=metrics,
+                topology=topology,
+                pool=pool,
+            )
+            for config in SYSTEMS
+        }
+    finally:
+        if pool is not None:
+            pool.shutdown()

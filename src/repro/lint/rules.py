@@ -778,6 +778,64 @@ _register(
 )
 
 
+# ---------------------------------------------------------------------------
+# RPR012 — process pools / shared memory only inside repro.fleet.pool
+
+
+#: Constructors that create OS-level parallelism resources.  Everything
+#: in src/repro routes through the one pool module that guarantees
+#: segment unlink on shutdown and bit-identical dispatch (DESIGN §12).
+_POOL_CONFINED_CALLS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.shared_memory.SharedMemory",
+}
+
+_FLEET_POOL_MODULE = "repro.fleet.pool"
+
+
+class _ParallelismViaFleetPool(Rule):
+    def applies(self, ctx: "FileContext") -> bool:
+        # fleet.pool is the sanctioned owner of worker processes and
+        # shared-memory segments — the one place whose lifecycle
+        # guarantees (unlink on shutdown and on exception) are tested.
+        return ctx.in_module("repro") and ctx.module != _FLEET_POOL_MODULE
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualify(node.func)
+            if qualified in _POOL_CONFINED_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` constructed outside "
+                    f"{_FLEET_POOL_MODULE}: ad-hoc pools re-pickle state "
+                    "per task and leak segments on exception; go through "
+                    "FleetWorkerPool, whose dispatch is bit-identical "
+                    "and whose cleanup is guaranteed",
+                )
+
+
+_register(
+    _ParallelismViaFleetPool(
+        code="RPR012",
+        name="parallelism-via-fleet-pool",
+        summary=(
+            "ProcessPoolExecutor / SharedMemory construction is "
+            "sanctioned only inside repro.fleet.pool"
+        ),
+        rationale=(
+            "a stray process pool reintroduces the per-task pickling "
+            "pessimization and a stray segment leaks /dev/shm on "
+            "exception; one owner module keeps worker lifecycle and "
+            "cleanup guarantees auditable"
+        ),
+        scope="src/repro, excluding repro.fleet.pool",
+    )
+)
+
+
 RULES: tuple[Rule, ...] = tuple(
     _REGISTRY[code] for code in sorted(_REGISTRY)
 )

@@ -33,11 +33,11 @@ from repro.fleet.simulation import (
     FleetStageRecord,
     NodeStageRecord,
     NodeTrajectory,
-    _fleet_worker_stage,
     _node_stage_records,
     build_fleet_runtime,
     cloud_initialize,
     cloud_try_update,
+    pooled_node_stage,
     reseed_diagnoser,
 )
 from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
@@ -80,19 +80,15 @@ def run_scenario_lockstep(
     plans = build_plans(spec, assets.profiles)
     runtime = build_fleet_runtime(config, assets, metrics=metrics)
     configure_cloud(runtime, spec)
-    executor = None
+    pool = None
     if workers > 1:
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
+        from repro.fleet.pool import FleetWorkerPool
 
-        from repro.fleet.simulation import _fleet_worker_init
-
-        executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context("spawn"),
-            initializer=_fleet_worker_init,
-            initargs=(config, assets),
-        )
+        # Churn + per-group heads make node states diverge mid-run, so
+        # one stage can reference up to (head groups + 1) distinct
+        # states at once; size the weights block to hold them all live.
+        groups = plans.heads.num_groups if plans.heads is not None else 0
+        pool = FleetWorkerPool(assets, workers, state_slots=groups + 2)
     try:
         with obs_metrics.use(metrics):
             return _run_scenario_schedule(
@@ -101,12 +97,12 @@ def run_scenario_lockstep(
                 assets,
                 plans,
                 runtime,
-                executor,
+                pool,
                 tracer=tracer,
             )
     finally:
-        if executor is not None:
-            executor.shutdown()
+        if pool is not None:
+            pool.shutdown()
 
 
 def _run_scenario_schedule(
@@ -115,7 +111,7 @@ def _run_scenario_schedule(
     assets: FleetAssets,
     plans: ScenarioPlans,
     runtime: FleetRuntime,
-    executor,
+    pool,
     *,
     tracer: Tracer | None = None,
 ) -> ScenarioReport:
@@ -196,7 +192,7 @@ def _run_scenario_schedule(
                 )
 
         # --- node compute (alive only) --------------------------------
-        if executor is None:
+        if pool is None:
             node_reports = {}
             for i in alive:
                 deployed_net.load_state_dict(node_states[i])
@@ -222,17 +218,14 @@ def _run_scenario_schedule(
                         )
                     )
         else:
-            futures = [
-                executor.submit(
-                    _fleet_worker_stage,
-                    (i, s, node_states[i], trace_t0, None, extra),
-                )
-                for i in alive
-            ]
-            by_index = {}
-            for future in futures:
-                node_index, node_report, records = future.result()
-                by_index[node_index] = (node_report, records)
+            by_index = pooled_node_stage(
+                pool,
+                config.system_id,
+                s,
+                [(i, node_states[i]) for i in alive],
+                trace_t0=trace_t0,
+                extra=extra,
+            )
             node_reports = {}
             for i in alive:
                 node_report, records = by_index[i]

@@ -35,10 +35,10 @@ from repro.fleet.simulation import (
     FleetStageRecord,
     NodeStageRecord,
     NodeTrajectory,
-    _fleet_worker_stage,
     _node_stage_records,
     cloud_initialize,
     cloud_try_update,
+    pooled_node_stage,
     reseed_diagnoser,
 )
 from repro.fleet.uplink import SharedUplink, Transfer
@@ -60,7 +60,7 @@ def run_topology_schedule(
     runtime: FleetRuntime,
     topology: Topology,
     uplink: SharedUplink,
-    executor,
+    pool,
     *,
     tracer: Tracer | None = None,
 ) -> FleetReport:
@@ -105,7 +105,7 @@ def run_topology_schedule(
             registry.active.state if len(registry) else assets.initial_state
         )
         # --- edge compute: identical to the flat engine, tier-tagged ---
-        if executor is None:
+        if pool is None:
             deployed_net.load_state_dict(active_state)
             node_reports = []
             for i in range(len(profiles)):
@@ -131,16 +131,14 @@ def run_topology_schedule(
                         )
                     )
         else:
-            futures = [
-                executor.submit(
-                    _fleet_worker_stage, (i, s, active_state, trace_t0, "edge")
-                )
-                for i in range(len(profiles))
-            ]
-            by_index = {}
-            for future in futures:
-                node_index, node_report, records = future.result()
-                by_index[node_index] = (node_report, records)
+            by_index = pooled_node_stage(
+                pool,
+                config.system_id,
+                s,
+                [(i, active_state) for i in range(len(profiles))],
+                trace_t0=trace_t0,
+                tier="edge",
+            )
             node_reports = []
             for i in range(len(profiles)):
                 node_report, records = by_index[i]

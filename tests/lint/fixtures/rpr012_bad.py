@@ -1,0 +1,14 @@
+"""Fixture: ad-hoc pools / segments outside ``repro.fleet.pool`` (RPR012)."""
+# repro-lint: module=repro.fleet.fake
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def run_stage_badly(tasks):
+    executor = ProcessPoolExecutor(
+        max_workers=4, mp_context=multiprocessing.get_context("spawn")
+    )
+    segment = shared_memory.SharedMemory(create=True, size=1024)
+    return executor, segment

@@ -1,0 +1,14 @@
+"""Fixture: the sanctioned pool module owns parallelism (RPR012)."""
+# repro-lint: module=repro.fleet.pool
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def build_pool(workers):
+    executor = ProcessPoolExecutor(
+        max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+    )
+    segment = shared_memory.SharedMemory(create=True, size=1024)
+    return executor, segment

@@ -28,6 +28,7 @@ CASES = {
     "RPR009": ("rpr009_bad.py", "rpr009_good.py"),
     "RPR010": ("rpr010_bad.py", "rpr010_good.py"),
     "RPR011": ("rpr011_bad.py", "rpr011_good.py"),
+    "RPR012": ("rpr012_bad.py", "rpr012_good.py"),
 }
 
 EXPECTED_BAD_COUNTS = {
@@ -42,6 +43,7 @@ EXPECTED_BAD_COUNTS = {
     "RPR009": 3,  # missing reason, unknown code, malformed pragma
     "RPR010": 1,
     "RPR011": 3,  # time.time, time.perf_counter, datetime.datetime.now
+    "RPR012": 2,  # ProcessPoolExecutor(...), shared_memory.SharedMemory(...)
 }
 
 
