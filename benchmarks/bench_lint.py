@@ -1,0 +1,171 @@
+"""Lint-runtime benchmark: cold vs warm incremental-cache sweeps.
+
+Times ``repro.lint``'s whole-repo project run (per-file rules, graph
+assembly, whole-program rules) twice against a fresh cache file — once
+cold (every file parsed and analyzed) and once warm (every per-file
+analysis served from the content-hash cache; only the graph layer
+recomputes) — and writes the results to ``BENCH_lint.json``:
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --out BENCH_lint.json
+
+``--check BASELINE`` re-measures and gates on the *committed* contract
+rather than raw historical milliseconds: the warm run must beat the cold
+run by at least ``budget.min_speedup`` (the cache has to actually pay
+for itself) and finish under ``budget.warm_budget_s`` (the lint gate
+stays cheap enough to block PRs with).  Both runs must also render
+byte-identical JSON — a cache that changes the report is worse than no
+cache.
+
+No function here is named ``bench_*``/``test_*`` on purpose: this is a
+script-path benchmark (like ``bench_hotpath.py --quick``), not a
+pytest-collected one, so RPR008's slow-marker contract does not apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lint import render_json
+from repro.lint.graph import lint_project
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO / "BENCH_lint.json"
+TARGETS = ("src", "tests", "benchmarks", "examples")
+
+#: Committed contract values written into the baseline and enforced by
+#: ``--check``.  The warm budget is deliberately loose — it bounds "the
+#: lint gate is cheap", not a specific runner's clock.
+MIN_SPEEDUP = 3.0
+WARM_BUDGET_S = 5.0
+
+
+def measure(rounds: int) -> dict:
+    paths = [REPO / t for t in TARGETS if (REPO / t).exists()]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "lint-cache.json"
+
+        t0 = time.perf_counter()
+        cold = lint_project(paths, cache_path=cache)
+        cold_s = time.perf_counter() - t0
+        cold_json = render_json(cold.findings)
+
+        warm_s = float("inf")
+        warm = cold
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            warm = lint_project(paths, cache_path=cache)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+    warm_json = render_json(warm.findings)
+    if warm_json != cold_json:
+        raise AssertionError(
+            "cache changed the report: cold and warm JSON renders differ"
+        )
+    if warm.cache_misses:
+        raise AssertionError(
+            f"warm run missed the cache {warm.cache_misses} times"
+        )
+
+    active = sum(1 for f in cold.findings if not f.suppressed)
+    return {
+        "meta": {
+            "python": ".".join(map(str, sys.version_info[:3])),
+            "files": cold.cache_misses,
+            "findings_total": len(cold.findings),
+            "findings_active": active,
+            "report_bytes": len(cold_json.encode("utf-8")),
+        },
+        "stages": {
+            "lint_full_sweep": {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": cold_s / warm_s,
+                "warm_cache_hits": warm.cache_hits,
+                "byte_identical_report": True,
+            }
+        },
+        "budget": {
+            "min_speedup": MIN_SPEEDUP,
+            "warm_budget_s": WARM_BUDGET_S,
+        },
+    }
+
+
+def check(results: dict, baseline_path: Path) -> int:
+    budget = json.loads(baseline_path.read_text(encoding="utf-8"))["budget"]
+    stage = results["stages"]["lint_full_sweep"]
+    failures = []
+    if stage["speedup"] < budget["min_speedup"]:
+        failures.append(
+            f"warm speedup {stage['speedup']:.2f}x is under the committed "
+            f"minimum {budget['min_speedup']:.1f}x"
+        )
+    if stage["warm_s"] > budget["warm_budget_s"]:
+        failures.append(
+            f"warm sweep took {stage['warm_s']:.2f}s, over the committed "
+            f"budget of {budget['warm_budget_s']:.1f}s"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(
+            f"OK: warm {stage['warm_s'] * 1e3:.0f}ms vs cold "
+            f"{stage['cold_s'] * 1e3:.0f}ms "
+            f"({stage['speedup']:.1f}x, budget {budget['min_speedup']:.1f}x "
+            f"/ {budget['warm_budget_s']:.1f}s)"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"write results JSON here (default: {DEFAULT_OUT.name})",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        metavar="BASELINE",
+        default=None,
+        help="gate this run against a committed baseline's budget block",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="warm rounds to take the best of (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.rounds)
+    out = args.out
+    if out is None and args.check is None:
+        out = DEFAULT_OUT
+    if out is not None:
+        out.write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {out}")
+
+    stage = results["stages"]["lint_full_sweep"]
+    print(
+        f"lint_full_sweep: cold {stage['cold_s'] * 1e3:.0f}ms, "
+        f"warm {stage['warm_s'] * 1e3:.0f}ms, "
+        f"speedup {stage['speedup']:.1f}x "
+        f"({stage['warm_cache_hits']} cached files)"
+    )
+    if args.check is not None:
+        return check(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

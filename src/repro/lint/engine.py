@@ -3,9 +3,13 @@
 Pragmas (all are comments, matched only at the start of a comment):
 
 ``# repro-lint: ignore[RPR004] <reason>``
-    Suppress the listed codes on this physical line.  The reason is
-    mandatory (RPR009) and a suppression that matches no finding is
-    itself flagged (RPR010).
+    Suppress the listed codes on this statement.  A suppression covers
+    every physical line of the *logical* statement it is attached to
+    (so a pragma on any line of a parenthesized continuation, chained
+    call, or multi-line ``def`` signature matches findings anywhere in
+    that statement); a pragma on a standalone comment line covers only
+    that line.  The reason is mandatory (RPR009) and a suppression that
+    matches no finding is itself flagged (RPR010).
 
 ``# repro-lint: module=repro.fleet.fake``
     Override the module identity used for rule scoping — rule fixtures
@@ -17,6 +21,14 @@ Pragmas (all are comments, matched only at the start of a comment):
 Directories containing a ``.repro-lint-fixtures`` marker file are skipped
 when walking (they hold intentionally-bad rule fixtures); explicitly
 listed *files* are always linted.
+
+The engine is split into an *analyze* half (parse + per-file rules +
+suppression application, cacheable per file content) and a *finalize*
+half (unused-suppression accounting, which must wait until the
+whole-program rules in :mod:`repro.lint.graph` have had their chance to
+consume a suppression).  ``lint_file`` / ``lint_paths`` run both halves
+plus the whole-program rules; ``lint_source`` is the single-file view
+(per-file rules only — a lone source blob has no project graph).
 """
 
 from __future__ import annotations
@@ -28,18 +40,26 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.lint.rules import RULES, Rule, all_codes
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import FileSummary
+
 __all__ = [
+    "FileAnalysis",
     "FileContext",
     "Finding",
     "FIXTURE_MARKER",
+    "analysis_from_cache",
+    "analysis_to_cache",
+    "analyze_file",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "unused_suppression_findings",
 ]
 
 FIXTURE_MARKER = ".repro-lint-fixtures"
@@ -78,12 +98,14 @@ class _Suppression:
     col: int
     codes: tuple[str, ...]
     reason: str
+    #: physical lines this suppression covers (its logical statement)
+    covered: tuple[int, ...] = ()
     used: set[str] = field(default_factory=set)
 
 
 @dataclass
 class _Pragmas:
-    suppressions: dict[int, list[_Suppression]] = field(default_factory=dict)
+    suppressions: list[_Suppression] = field(default_factory=list)
     module: str | None = None
     kind: str | None = None
     problems: list[tuple[int, int, str]] = field(default_factory=list)
@@ -178,6 +200,41 @@ def _kind_from_path(parts: Sequence[str]) -> str:
     return "other"
 
 
+def _logical_spans(source: str) -> dict[int, tuple[int, int]]:
+    """Map each physical line of a logical statement to its line span.
+
+    A logical statement runs from its first non-comment token to the
+    ``NEWLINE`` token that terminates it, so a parenthesized
+    continuation, a chained call split with ``\\``-free line breaks, or
+    a multi-line ``def`` signature is one span.  Decorators terminate
+    with their own ``NEWLINE`` and are therefore separate spans — a
+    suppression on a decorator line does not leak onto the ``def``.
+    Blank and comment-only lines belong to no span.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    start: int | None = None
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.NEWLINE:
+                if start is not None:
+                    for line in range(start, tok.end[0] + 1):
+                        spans[line] = (start, tok.end[0])
+                    start = None
+            elif tok.type in (
+                tokenize.NL,
+                tokenize.COMMENT,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                continue
+            elif start is None:
+                start = tok.start[0]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return spans
+
+
 def _scan_pragmas(source: str) -> _Pragmas:
     pragmas = _Pragmas()
     known = set(all_codes())
@@ -185,6 +242,7 @@ def _scan_pragmas(source: str) -> _Pragmas:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return pragmas
+    spans = _logical_spans(source)
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
@@ -219,8 +277,15 @@ def _scan_pragmas(source: str) -> _Pragmas:
                 )
             good = tuple(c for c in codes if c not in bad)
             if good:
-                pragmas.suppressions.setdefault(line, []).append(
-                    _Suppression(line=line, col=col, codes=good, reason=reason)
+                span = spans.get(line, (line, line))
+                pragmas.suppressions.append(
+                    _Suppression(
+                        line=line,
+                        col=col,
+                        codes=good,
+                        reason=reason,
+                        covered=tuple(range(span[0], span[1] + 1)),
+                    )
                 )
             continue
         module = _MODULE_RE.match(body)
@@ -239,37 +304,70 @@ def _scan_pragmas(source: str) -> _Pragmas:
                 "expected ignore[CODES] reason, module=..., or scope=...",
             )
         )
+    pragmas.suppressions.sort(key=lambda s: (s.line, s.col))
     return pragmas
 
 
-def lint_source(
-    source: str,
+@dataclass
+class FileAnalysis:
+    """Per-file lint result, independent of the rest of the project.
+
+    Holds everything the whole-program layer needs: the per-file
+    findings (suppressions already applied), the suppressions themselves
+    (so graph-rule findings can still consume them), and the
+    :class:`repro.lint.graph.FileSummary` feeding the project graph.
+    Instances round-trip through the incremental cache via
+    :func:`analysis_to_cache` / :func:`analysis_from_cache`.
+    """
+
+    display: str
+    module: str | None
+    kind: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: list[_Suppression] = field(default_factory=list)
+    summary: "FileSummary | None" = None
+
+    def apply_suppressions(self, finding: Finding) -> None:
+        for sup in self.suppressions:
+            if finding.line in sup.covered and finding.code in sup.codes:
+                finding.suppressed = True
+                finding.suppress_reason = sup.reason or None
+                sup.used.add(finding.code)
+                return
+
+
+def analyze_file(
     path: Path | str,
+    source: str,
     *,
-    rules: Sequence[Rule] | None = None,
+    rules: Sequence[Rule],
+    run_codes: set[str],
     module: str | None = None,
     kind: str | None = None,
-) -> list[Finding]:
-    """Lint one in-memory source blob.
+) -> FileAnalysis:
+    """Run the per-file half of the engine on one source blob.
 
-    ``module``/``kind`` override scoping context (pragmas in the source
-    override these in turn, mirroring CLI behavior on fixture files).
+    ``rules`` must already be filtered to non-meta, non-whole-program
+    rules; ``run_codes`` is the full selected code set (it gates the
+    engine-enforced RPR000/RPR009 findings).
     """
     path = Path(path)
     display = str(path)
-    run = RULES if rules is None else tuple(rules)
-    run_codes = {r.code for r in run}
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        finding = Finding(
-            file=display,
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            code="RPR000",
-            message=f"syntax error: {exc.msg}",
-        )
-        return [finding] if "RPR000" in run_codes else []
+        analysis = FileAnalysis(display=display, module=module, kind=kind or "other")
+        if "RPR000" in run_codes:
+            analysis.findings.append(
+                Finding(
+                    file=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code="RPR000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+        return analysis
 
     pragmas = _scan_pragmas(source)
     parts = path.parts
@@ -282,55 +380,142 @@ def lint_source(
         kind=pragmas.kind or kind or _kind_from_path(parts),
         imports=_ImportMap(tree),
     )
+    analysis = FileAnalysis(
+        display=display,
+        module=ctx.module,
+        kind=ctx.kind,
+        suppressions=pragmas.suppressions,
+    )
 
-    findings: list[Finding] = []
-    for rule in run:
-        if rule.meta or not rule.applies(ctx):
+    for rule in rules:
+        if rule.meta or rule.whole_program or not rule.applies(ctx):
             continue
-        findings.extend(rule.check(ctx))
+        analysis.findings.extend(rule.check(ctx))
+    for finding in analysis.findings:
+        analysis.apply_suppressions(finding)
 
-    # Apply line suppressions.
-    for finding in findings:
-        for sup in pragmas.suppressions.get(finding.line, ()):
-            if finding.code in sup.codes:
-                finding.suppressed = True
-                finding.suppress_reason = sup.reason or None
-                sup.used.add(finding.code)
-
-    # Meta rules: suppression hygiene and unused suppressions.
     if "RPR009" in run_codes:
         for line, col, message in pragmas.problems:
-            findings.append(
+            analysis.findings.append(
                 Finding(
-                    file=display,
-                    line=line,
-                    col=col,
-                    code="RPR009",
+                    file=display, line=line, col=col, code="RPR009",
                     message=message,
                 )
             )
-    if "RPR010" in run_codes:
-        for sups in pragmas.suppressions.values():
-            for sup in sups:
-                for code in sup.codes:
-                    # Only judge codes whose rules actually ran: a
-                    # --select'ed subset must not condemn suppressions
-                    # for the rules it skipped.
-                    if code in run_codes and code not in sup.used:
-                        findings.append(
-                            Finding(
-                                file=display,
-                                line=sup.line,
-                                col=sup.col,
-                                code="RPR010",
-                                message=(
-                                    f"suppression for {code} matches no "
-                                    "finding on this line: remove it or "
-                                    "re-anchor it"
-                                ),
-                            )
-                        )
+    analysis.findings.sort(key=Finding.sort_key)
 
+    from repro.lint.graph import summarize
+
+    analysis.summary = summarize(ctx)
+    return analysis
+
+
+def unused_suppression_findings(
+    analysis: FileAnalysis, run_codes: set[str]
+) -> list[Finding]:
+    """RPR010: suppressions no rule (per-file or whole-program) consumed.
+
+    Runs *after* the whole-program rules so a pragma suppressing an
+    RPR013/14/15 finding is not condemned; only codes whose rules
+    actually ran are judged (a ``--select``'ed subset must not condemn
+    suppressions for the rules it skipped).
+    """
+    findings: list[Finding] = []
+    if "RPR010" not in run_codes:
+        return findings
+    for sup in analysis.suppressions:
+        for code in sup.codes:
+            if code in run_codes and code not in sup.used:
+                findings.append(
+                    Finding(
+                        file=analysis.display,
+                        line=sup.line,
+                        col=sup.col,
+                        code="RPR010",
+                        message=(
+                            f"suppression for {code} matches no "
+                            "finding on this line: remove it or "
+                            "re-anchor it"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Cache (de)serialization — the storage format lives with the dataclasses
+# it mirrors; the cache file itself is managed by repro.lint.graph.
+
+
+def analysis_to_cache(analysis: FileAnalysis, digest: str) -> dict:
+    return {
+        "sha256": digest,
+        "module": analysis.module,
+        "kind": analysis.kind,
+        "findings": [
+            [f.line, f.col, f.code, f.message, f.suppressed, f.suppress_reason]
+            for f in analysis.findings
+        ],
+        "suppressions": [
+            [s.line, s.col, list(s.codes), s.reason, list(s.covered),
+             sorted(s.used)]
+            for s in analysis.suppressions
+        ],
+        "summary": None if analysis.summary is None else analysis.summary.to_dict(),
+    }
+
+
+def analysis_from_cache(display: str, entry: dict, summary_from_dict) -> FileAnalysis:
+    analysis = FileAnalysis(
+        display=display, module=entry["module"], kind=entry["kind"]
+    )
+    analysis.findings = [
+        Finding(
+            file=display, line=line, col=col, code=code, message=message,
+            suppressed=suppressed, suppress_reason=reason,
+        )
+        for line, col, code, message, suppressed, reason in entry["findings"]
+    ]
+    analysis.suppressions = [
+        _Suppression(
+            line=line, col=col, codes=tuple(codes), reason=reason,
+            covered=tuple(covered), used=set(used),
+        )
+        for line, col, codes, reason, covered, used in entry["suppressions"]
+    ]
+    if entry["summary"] is not None:
+        analysis.summary = summary_from_dict(entry["summary"])
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+
+
+def lint_source(
+    source: str,
+    path: Path | str,
+    *,
+    rules: Sequence[Rule] | None = None,
+    module: str | None = None,
+    kind: str | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob with the per-file rules.
+
+    ``module``/``kind`` override scoping context (pragmas in the source
+    override these in turn, mirroring CLI behavior on fixture files).
+    Whole-program rules need a project graph and therefore do not run —
+    and their codes are excluded from RPR010 judgment here.
+    """
+    run = RULES if rules is None else tuple(rules)
+    per_file = tuple(r for r in run if not r.meta and not r.whole_program)
+    run_codes = {r.code for r in run if not r.whole_program}
+    analysis = analyze_file(
+        path, source, rules=per_file, run_codes=run_codes,
+        module=module, kind=kind,
+    )
+    findings = list(analysis.findings)
+    findings.extend(unused_suppression_findings(analysis, run_codes))
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -342,9 +527,19 @@ def lint_file(
     module: str | None = None,
     kind: str | None = None,
 ) -> list[Finding]:
+    """Lint one file, whole-program rules included (a one-file project).
+
+    When ``module``/``kind`` overrides are given the call degrades to
+    :func:`lint_source` semantics (per-file rules only) — the overrides
+    describe a hypothetical context, not a real project file.
+    """
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
-    return lint_source(source, path, rules=rules, module=module, kind=kind)
+    if module is not None or kind is not None:
+        source = path.read_text(encoding="utf-8")
+        return lint_source(source, path, rules=rules, module=module, kind=kind)
+    from repro.lint.graph import lint_project
+
+    return lint_project([path], rules=rules).findings
 
 
 def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
@@ -380,8 +575,14 @@ def lint_paths(
     paths: Iterable[Path | str],
     *,
     rules: Sequence[Rule] | None = None,
+    cache_path: Path | str | None = None,
 ) -> list[Finding]:
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
-    return findings
+    """Lint a file set: per-file rules plus the whole-program rules.
+
+    ``cache_path`` enables the content-hash incremental cache (the CLI
+    passes ``.repro-lint-cache.json``; the API default stays uncached so
+    tests are hermetic).
+    """
+    from repro.lint.graph import lint_project
+
+    return lint_project(paths, rules=rules, cache_path=cache_path).findings

@@ -1,0 +1,1166 @@
+"""Whole-program analysis layer for the determinism contract.
+
+The per-file rules (RPR001...RPR012) are pattern checks: each one sees a
+single ``ast`` tree.  The bugs that actually threaten bit-identical
+reproduction are interprocedural — an RNG constructed three calls away
+from its seed, module-level state silently mutated inside pool workers,
+a low-level module growing an import of the fleet layer.  This module
+builds the project-wide facts those rules need, still on stdlib ``ast``
+alone:
+
+* a **file summary** per linted file (imports with line anchors, a
+  top-level symbol table, per-function call sites with argument
+  classification, module-global write sites, and pool worker entry
+  points), cheap to serialize;
+* a **ProjectGraph** combining the summaries: module import DAG, a
+  cross-module call graph resolved through each file's imports, and
+  reachability/shortest-chain queries;
+* a **content-hash incremental cache** (``.repro-lint-cache.json``):
+  per-file summaries and per-file findings are keyed by the source's
+  SHA-256 and a signature of the linter's own sources, so a warm run
+  re-parses only changed files and rebuilds the graph from cached
+  summaries.  Whole-program findings are recomputed every run (they
+  depend on *other* files), which is cheap next to parsing.
+
+The graph rules themselves (RPR013/RPR014/RPR015) live in
+:mod:`repro.lint.rules` and :mod:`repro.lint.taint`; ``lint_project``
+below is the orchestrator behind ``lint_paths`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.engine import (
+    FileAnalysis,
+    Finding,
+    analyze_file,
+    analysis_from_cache,
+    analysis_to_cache,
+    iter_python_files,
+    unused_suppression_findings,
+)
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "CACHE_DEFAULT",
+    "FunctionInfo",
+    "ProjectGraph",
+    "ProjectResult",
+    "layering_findings",
+    "lint_project",
+    "reverse_dependency_closure",
+    "summarize",
+    "worker_state_findings",
+]
+
+CACHE_DEFAULT = ".repro-lint-cache.json"
+CACHE_VERSION = 1
+
+#: Attribute methods that mutate their receiver in place.  Calls shaped
+#: ``NAME.method(...)`` where ``NAME`` is a module-level object count as
+#: writes to module state for RPR014.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Seed sinks: calls whose first positional argument is an RNG seed.
+_SEED_SINKS = ("numpy.random.default_rng", "numpy.random.SeedSequence")
+
+#: Modules whose literal seeds are sanctioned provenance roots (RPR013):
+#: the scenario/experiment definition layer and CLI entry points are
+#: exactly where a run's root seed is *supposed* to be written down.
+_APPROVED_SEED_PREFIXES = ("repro.core", "repro.reports")
+
+#: The module whose executor submissions define worker entry points
+#: (RPR014); mirrors RPR012's confinement.
+_POOL_MODULE = "repro.fleet.pool"
+
+
+# ---------------------------------------------------------------------------
+# Per-file summary extraction
+
+
+@dataclass
+class CallSite:
+    """One resolvable call inside a function body."""
+
+    ref: str  # "f", "pkg.mod.f", or "<self>.meth"
+    line: int
+    col: int
+    #: positional args: list of (cls, roots); cls in {"lit","prov","opq"}
+    args: list
+    #: keyword args: name -> (cls, roots)
+    kwargs: dict
+    #: True when this call is an RPR003-blessed `rng`-None fallback
+    fallback: bool = False
+
+
+@dataclass
+class WriteSite:
+    """A write to module-level state inside a function body."""
+
+    name: str
+    line: int
+    col: int
+    desc: str
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # "f" or "Cls.f"
+    params: list
+    is_method: bool
+    calls: list = field(default_factory=list)
+    writes: list = field(default_factory=list)
+
+
+@dataclass
+class FileSummary:
+    """Serializable whole-program facts for one file."""
+
+    module: str | None
+    kind: str
+    #: (target_module, line, col, module_level)
+    imports: list = field(default_factory=list)
+    functions: dict = field(default_factory=dict)
+    module_names: list = field(default_factory=list)
+    classes: dict = field(default_factory=dict)  # name -> [method names]
+    worker_entries: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "kind": self.kind,
+            "imports": self.imports,
+            "module_names": self.module_names,
+            "classes": self.classes,
+            "worker_entries": self.worker_entries,
+            "functions": {
+                q: {
+                    "params": f.params,
+                    "is_method": f.is_method,
+                    "calls": [
+                        [c.ref, c.line, c.col, c.args, c.kwargs, c.fallback]
+                        for c in f.calls
+                    ],
+                    "writes": [
+                        [w.name, w.line, w.col, w.desc] for w in f.writes
+                    ],
+                }
+                for q, f in self.functions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileSummary":
+        summary = cls(
+            module=data["module"],
+            kind=data["kind"],
+            imports=[tuple(i) for i in data["imports"]],
+            module_names=list(data["module_names"]),
+            classes={k: list(v) for k, v in data["classes"].items()},
+            worker_entries=list(data["worker_entries"]),
+        )
+        for qual, raw in data["functions"].items():
+            info = FunctionInfo(
+                qualname=qual,
+                params=list(raw["params"]),
+                is_method=raw["is_method"],
+            )
+            info.calls = [
+                CallSite(
+                    ref=c[0],
+                    line=c[1],
+                    col=c[2],
+                    args=[tuple(a) for a in c[3]],
+                    kwargs={k: tuple(v) for k, v in c[4].items()},
+                    fallback=c[5],
+                )
+                for c in raw["calls"]
+            ]
+            info.writes = [WriteSite(*w) for w in raw["writes"]]
+            summary.functions[qual] = info
+        return summary
+
+
+def _resolve_relative(
+    module: str | None, level: int, target: str | None, is_package: bool
+) -> str | None:
+    """Resolve a relative import against the importing module's name.
+
+    Level 1 refers to the containing package: the module itself for a
+    package ``__init__``, its parent otherwise.
+    """
+    if level == 0 or module is None:
+        return target
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if target:
+        base.append(target)
+    return ".".join(base) if base else None
+
+
+def _in_type_checking_block(tree: ast.Module) -> set[int]:
+    """Line numbers of statements guarded by ``if TYPE_CHECKING:``."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = None
+        if isinstance(test, ast.Name):
+            name = test.id
+        elif isinstance(test, ast.Attribute):
+            name = test.attr
+        if name == "TYPE_CHECKING":
+            for stmt in node.body:
+                lines.add(stmt.lineno)
+    return lines
+
+
+def _binding_names(target: ast.AST, names: set[str]) -> None:
+    """Collect names a target expression *binds* (not mutation targets).
+
+    ``x = ...`` binds ``x``; ``x[k] = ...`` and ``x.attr = ...`` mutate
+    an existing object and bind nothing — treating their root as local
+    would hide writes to module-level state.
+    """
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _binding_names(elt, names)
+    elif isinstance(target, ast.Starred):
+        _binding_names(target.value, names)
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally inside ``func`` (params + binding targets)."""
+    from repro.lint.rules import _arg_names, _walk_function_shallow
+
+    names = _arg_names(func)
+    for node in _walk_function_shallow(func):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars
+                for item in node.items
+                if item.optional_vars is not None
+            ]
+        elif isinstance(node, ast.comprehension):
+            targets = [node.target]
+        elif isinstance(node, ast.NamedExpr):
+            targets = [node.target]
+        for target in targets:
+            _binding_names(target, names)
+    return names
+
+
+def _globals_declared(func: ast.AST) -> set[str]:
+    from repro.lint.rules import _walk_function_shallow
+
+    out: set[str] = set()
+    for node in _walk_function_shallow(func):
+        if isinstance(node, ast.Global):
+            out.update(node.names)
+    return out
+
+
+def _subscript_root(node: ast.AST) -> ast.AST:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+class _FunctionScanner:
+    """Extracts calls, seed-argument classes, and global writes."""
+
+    def __init__(self, ctx, func, qualname, is_method, module_names, fallback_calls):
+        self.ctx = ctx
+        self.func = func
+        self.info = FunctionInfo(
+            qualname=qualname,
+            params=self._params(func, is_method),
+            is_method=is_method,
+        )
+        self.module_names = module_names
+        self.fallback_calls = fallback_calls
+        self.locals = _local_names(func)
+        self.globals_decl = _globals_declared(func)
+        # Names derived (transitively) from parameters, mapped to the
+        # originating parameter names — the intra-function half of the
+        # seed taint.
+        self.derived: dict[str, tuple[str, ...]] = {
+            p: (p,) for p in self.info.params
+        }
+        for implicit in ("self", "cls"):
+            if implicit in _local_names(func) or is_method:
+                self.derived.setdefault(implicit, (implicit,))
+
+    @staticmethod
+    def _params(func, is_method: bool) -> list:
+        a = func.args
+        names = [p.arg for p in (*a.posonlyargs, *a.args)]
+        if is_method and names:
+            names = names[1:]
+        return names + [p.arg for p in a.kwonlyargs]
+
+    # -- expression classification -------------------------------------
+    def classify(self, expr: ast.AST) -> tuple[str, tuple[str, ...]]:
+        """Classify an argument expression for the seed taint.
+
+        Returns ``(cls, roots)`` with ``cls`` one of ``"prov"`` (contains
+        a provenance-carrying atom: a parameter-derived name, ``self``/
+        ``cls``, a ``SeedSequence`` construction, or a name imported from
+        an approved seed-root module), ``"lit"`` (built purely from
+        constants and same-module names — a locally seeded, globally
+        unseeded value), or ``"opq"`` (anything the analysis cannot
+        track; never flagged).  ``roots`` lists the parameters the
+        provenance traces to.
+        """
+        roots: list[str] = []
+        literal_only = True
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                if node.id in self.derived:
+                    for root in self.derived[node.id]:
+                        if root not in roots:
+                            roots.append(root)
+                    continue
+                qualified = self.ctx.imports.aliases.get(node.id)
+                if qualified is not None:
+                    if qualified.startswith(_APPROVED_SEED_PREFIXES):
+                        return "prov", ()
+                    if qualified in _SEED_SINKS or qualified == "numpy":
+                        continue
+                    literal_only = False
+                elif node.id not in self.module_names and node.id not in (
+                    "int",
+                    "tuple",
+                    "len",
+                    "abs",
+                    "hash",
+                ):
+                    literal_only = False
+            elif isinstance(node, ast.Call):
+                qualified = self.ctx.qualify(node.func)
+                if qualified == "numpy.random.SeedSequence":
+                    continue  # judged by its own arguments
+                if qualified not in _SEED_SINKS:
+                    literal_only = False
+            elif isinstance(node, ast.Attribute):
+                literal_only = False
+        if roots:
+            return "prov", tuple(roots)
+        return ("lit" if literal_only else "opq"), ()
+
+    # -- statement walk -------------------------------------------------
+    def scan(self) -> FunctionInfo:
+        from repro.lint.rules import _walk_function_shallow
+
+        for node in _walk_function_shallow(self.func):
+            if isinstance(node, ast.Assign):
+                self._track_assign(node.targets, node.value)
+                self._check_write_targets(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._track_assign([node.target], node.value)
+                self._check_write_targets([node.target])
+            elif isinstance(node, ast.AugAssign):
+                self._check_write_targets([node.target], aug=True)
+            elif isinstance(node, ast.Call):
+                self._record_call(node)
+        return self.info
+
+    def _track_assign(self, targets, value) -> None:
+        cls, roots = self.classify(value)
+        if cls != "prov":
+            return
+        for target in targets:
+            elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for elt in elts:
+                if isinstance(elt, ast.Name):
+                    merged = tuple(
+                        dict.fromkeys(self.derived.get(elt.id, ()) + roots)
+                    )
+                    self.derived[elt.id] = merged
+
+    def _check_write_targets(self, targets, *, aug: bool = False) -> None:
+        for target in targets:
+            root = _subscript_root(target)
+            if isinstance(root, ast.Attribute):
+                base = root.value
+                if isinstance(base, ast.Name) and base.id not in self.locals:
+                    qualified = self.ctx.imports.aliases.get(base.id)
+                    if qualified is not None and "." not in base.id:
+                        self._write(
+                            target, base.id, f"sets attribute on module `{qualified}`"
+                        )
+                    elif base.id in self.module_names:
+                        self._write(
+                            target, base.id, "sets attribute on module-level object"
+                        )
+                continue
+            if not isinstance(root, ast.Name):
+                continue
+            name = root.id
+            if isinstance(target, ast.Name):
+                if name in self.globals_decl:
+                    self._write(target, name, "rebinds module-level name via `global`")
+                continue
+            # subscript store (possibly nested)
+            if name in self.locals and name not in self.globals_decl:
+                continue
+            if name in self.module_names or name in self.globals_decl:
+                verb = "augments" if aug else "writes"
+                self._write(target, name, f"{verb} item of module-level object")
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        ref = None
+        if isinstance(func, ast.Name):
+            ref = self.ctx.qualify(func)
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+                ref = f"<self>.{func.attr}"
+            else:
+                ref = self.ctx.qualify(func)
+                if (
+                    ref is None
+                    and isinstance(func.value, ast.Name)
+                    and func.attr in _MUTATOR_METHODS
+                    and func.value.id not in self.locals
+                    and func.value.id in self.module_names
+                ):
+                    self._write(
+                        node,
+                        func.value.id,
+                        f"mutates module-level object via `.{func.attr}()`",
+                    )
+        if ref is None:
+            return
+        args = []
+        has_star = False
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                has_star = True
+                break
+            cls, roots = self.classify(arg)
+            args.append((cls, roots, arg.lineno, arg.col_offset))
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            cls, roots = self.classify(kw.value)
+            kwargs[kw.arg] = (cls, roots, kw.value.lineno, kw.value.col_offset)
+        if has_star:
+            args = []
+        self.info.calls.append(
+            CallSite(
+                ref=ref,
+                line=node.lineno,
+                col=node.col_offset,
+                args=args,
+                kwargs=kwargs,
+                fallback=node in self.fallback_calls,
+            )
+        )
+
+    def _write(self, node: ast.AST, name: str, desc: str) -> None:
+        self.info.writes.append(
+            WriteSite(
+                name=name,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                desc=desc,
+            )
+        )
+
+
+def summarize(ctx) -> FileSummary:
+    """Extract the whole-program facts from one parsed file."""
+    from repro.lint.rules import _NoShadowedRngParam
+
+    tree = ctx.tree
+    summary = FileSummary(module=ctx.module, kind=ctx.kind)
+    type_checking = _in_type_checking_block(tree)
+
+    # Imports (module-level flag distinguishes layering-relevant edges
+    # from deferred escape-hatch imports inside functions).
+    module_level_lines = {stmt.lineno for stmt in tree.body} | {
+        stmt.lineno
+        for top in tree.body
+        if isinstance(top, (ast.If, ast.Try))
+        for stmt in ast.walk(top)
+        if isinstance(stmt, (ast.Import, ast.ImportFrom))
+        and stmt.lineno not in type_checking
+    }
+    is_package = ctx.path.name == "__init__.py"
+    for node in ast.walk(tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            resolved = _resolve_relative(
+                ctx.module, node.level, node.module, is_package
+            )
+            if resolved:
+                # Record one target per alias: `from repro import fleet`
+                # depends on repro.fleet, not on the repro package — the
+                # tier/cycle checks and --since closure all want the
+                # finest-grained dotted name available.
+                targets = [
+                    f"{resolved}.{alias.name}"
+                    for alias in node.names
+                    if alias.name != "*"
+                ]
+        for target in targets:
+            if not target.startswith("repro"):
+                continue
+            summary.imports.append(
+                (
+                    target,
+                    node.lineno,
+                    node.col_offset,
+                    node.lineno in module_level_lines
+                    and node.lineno not in type_checking,
+                )
+            )
+
+    # Top-level symbol table.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.module_names.append(node.name)
+        elif isinstance(node, ast.ClassDef):
+            summary.module_names.append(node.name)
+            summary.classes[node.name] = [
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        summary.module_names.append(sub.id)
+
+    # Functions and methods.
+    def scan_function(func, qualname, is_method):
+        fallback = _NoShadowedRngParam._fallback_idiom_calls(ctx, func)
+        scanner = _FunctionScanner(
+            ctx, func, qualname, is_method, set(summary.module_names), fallback
+        )
+        summary.functions[qualname] = scanner.scan()
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, node.name, False)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan_function(stmt, f"{node.name}.{stmt.name}", True)
+
+    # Worker entry points: functions handed to executor.submit(...) or an
+    # initializer= keyword inside the sanctioned pool module.
+    if ctx.module == _POOL_MODULE:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates: list[ast.AST] = []
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
+                if node.args:
+                    candidates.append(node.args[0])
+            for kw in node.keywords:
+                if kw.arg == "initializer":
+                    candidates.append(kw.value)
+            for cand in candidates:
+                if isinstance(cand, ast.Name):
+                    summary.worker_entries.append(cand.id)
+                elif isinstance(cand, ast.Attribute):
+                    summary.worker_entries.append(f"<self>.{cand.attr}")
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Project graph
+
+
+class ProjectGraph:
+    """Import DAG + cross-module call graph over a set of file summaries."""
+
+    def __init__(self, analyses: Sequence[FileAnalysis]) -> None:
+        self.analyses = list(analyses)
+        #: module name -> FileAnalysis (last one wins on duplicates,
+        #: deterministic because analyses arrive in walk order)
+        self.by_module: dict[str, FileAnalysis] = {}
+        for analysis in self.analyses:
+            summary = analysis.summary
+            if summary is not None and summary.module:
+                self.by_module[summary.module] = analysis
+        #: function id "module::qualname" -> (FunctionInfo, FileAnalysis)
+        self.functions: dict[str, tuple[FunctionInfo, FileAnalysis]] = {}
+        for module in sorted(self.by_module):
+            analysis = self.by_module[module]
+            for qual, info in analysis.summary.functions.items():
+                self.functions[f"{module}::{qual}"] = (info, analysis)
+        self._edges_cache: dict[str, list[str]] | None = None
+
+    # -- imports --------------------------------------------------------
+    def import_edges(self, *, module_level_only: bool) -> dict[str, list]:
+        """module -> sorted list of (target, line, col) import edges."""
+        edges: dict[str, list] = {}
+        for module, analysis in self.by_module.items():
+            seen = {}
+            for target, line, col, top in analysis.summary.imports:
+                if module_level_only and not top:
+                    continue
+                if target not in seen:
+                    seen[target] = (target, line, col)
+            edges[module] = [seen[k] for k in sorted(seen)]
+        return edges
+
+    def known_module(self, dotted: str) -> str | None:
+        """Longest known module prefix of a dotted import target."""
+        parts = dotted.split(".")
+        for stop in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:stop])
+            if candidate in self.by_module:
+                return candidate
+        return None
+
+    # -- call graph -----------------------------------------------------
+    def resolve_call(self, caller_module: str, caller_qual: str, ref: str) -> str | None:
+        """Resolve a call-site ref to a function id, or None."""
+        analysis = self.by_module.get(caller_module)
+        if analysis is None:
+            return None
+        summary = analysis.summary
+        if ref.startswith("<self>."):
+            method = ref.split(".", 1)[1]
+            cls = caller_qual.split(".")[0]
+            if method in summary.classes.get(cls, ()):
+                return f"{caller_module}::{cls}.{method}"
+            return None
+        if "." not in ref:
+            if ref in summary.classes:
+                if "__init__" in summary.classes[ref]:
+                    return f"{caller_module}::{ref}.__init__"
+                return None
+            if ref in summary.functions:
+                return f"{caller_module}::{ref}"
+            return None
+        # Dotted: "pkg.mod.symbol" or "pkg.mod.Class" — split at the
+        # longest known module prefix.
+        module = self.known_module(ref)
+        if module is None or module == ref:
+            return None
+        symbol = ref[len(module) + 1 :]
+        target = self.by_module[module].summary
+        head = symbol.split(".")[0]
+        if head in target.classes:
+            if "__init__" in target.classes[head]:
+                return f"{module}::{head}.__init__"
+            return None
+        if symbol in target.functions:
+            return f"{module}::{symbol}"
+        return None
+
+    def call_edges(self) -> dict[str, list[str]]:
+        """function id -> sorted unique callee function ids."""
+        if self._edges_cache is not None:
+            return self._edges_cache
+        edges: dict[str, list[str]] = {}
+        for fid in sorted(self.functions):
+            module, qual = fid.split("::", 1)
+            info, _ = self.functions[fid]
+            seen = set()
+            for call in info.calls:
+                target = self.resolve_call(module, qual, call.ref)
+                if target is not None and target != fid:
+                    seen.add(target)
+            edges[fid] = sorted(seen)
+        self._edges_cache = edges
+        return edges
+
+    def reachable_from(self, entries: Iterable[str]) -> dict[str, tuple[str, ...]]:
+        """BFS over the call graph; maps function id -> shortest chain."""
+        edges = self.call_edges()
+        chains: dict[str, tuple[str, ...]] = {}
+        frontier = []
+        for entry in sorted(set(entries)):
+            if entry in self.functions:
+                chains[entry] = (entry,)
+                frontier.append(entry)
+        while frontier:
+            nxt = []
+            for fid in frontier:
+                for callee in edges.get(fid, ()):
+                    if callee not in chains:
+                        chains[callee] = chains[fid] + (callee,)
+                        nxt.append(callee)
+            frontier = nxt
+        return chains
+
+    def worker_entries(self) -> list[str]:
+        """Function ids submitted to pool executors in repro.fleet.pool."""
+        out = []
+        analysis = self.by_module.get(_POOL_MODULE)
+        if analysis is None:
+            return out
+        for ref in analysis.summary.worker_entries:
+            fid = self.resolve_call(_POOL_MODULE, ref, ref)
+            if fid is None and ref in analysis.summary.functions:
+                fid = f"{_POOL_MODULE}::{ref}"
+            if fid is not None:
+                out.append(fid)
+        return sorted(set(out))
+
+
+def reverse_dependency_closure(
+    graph: ProjectGraph, modules: Iterable[str]
+) -> set[str]:
+    """Modules importing (transitively) any of ``modules`` — plus them.
+
+    Uses *all* import edges, deferred ones included: a function-level
+    import is still a behavioral dependency for ``--since`` purposes.
+    """
+    importers: dict[str, set[str]] = {}
+    edges = graph.import_edges(module_level_only=False)
+    for module, targets in edges.items():
+        for target, _, _ in targets:
+            known = graph.known_module(target)
+            if known is not None:
+                importers.setdefault(known, set()).add(module)
+    closure = set()
+    frontier = [m for m in modules if m]
+    while frontier:
+        module = frontier.pop()
+        if module in closure:
+            continue
+        closure.add(module)
+        frontier.extend(importers.get(module, ()))
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — worker-mutable state
+
+
+def worker_state_findings(rule, graph: ProjectGraph) -> Iterable[Finding]:
+    """Writes to module-level state reachable from pool worker entries.
+
+    Workers are separate processes: anything a worker-reachable function
+    writes at module level diverges per process and never syncs back to
+    the parent, so results come to depend on worker count and task
+    placement.  Findings cite the call chain from the entry point.
+    """
+    entries = graph.worker_entries()
+    if not entries:
+        return
+    chains = graph.reachable_from(entries)
+    seen: set[tuple] = set()
+    for fid in sorted(chains):
+        info, analysis = graph.functions[fid]
+        module = analysis.module
+        if module is None or not (
+            module == "repro" or module.startswith("repro.")
+        ):
+            continue
+        for write in info.writes:
+            key = (analysis.display, write.line, write.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            chain = " -> ".join(chains[fid])
+            yield Finding(
+                file=analysis.display,
+                line=write.line,
+                col=write.col,
+                code=rule.code,
+                message=(
+                    f"worker-reachable function `{fid}` {write.desc} "
+                    f"`{write.name}`: module-level state written in a "
+                    "pool worker diverges per process and never syncs "
+                    f"back (worker chain: {chain})"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR015 — layering contract
+
+
+#: The declared tier order, lowest first.  A module's tier comes from its
+#: second dotted component (``repro.fleet.pool`` -> ``fleet``); imports at
+#: module level may only point at the same or a lower tier.  Function-level
+#: (deferred) imports are the sanctioned inversion seam and stay off this
+#: graph; ``repro`` itself and ``repro.__main__`` are dispatchers and
+#: exempt.  This table refines ISSUE/DESIGN's coarse
+#: ``core/nn/data -> events/hw -> fleet -> topology/scenario`` contract
+#: into a full topological order of the actual subpackages.
+_TIERS = (
+    ("lint", "obs", "comm"),
+    ("nn", "events"),
+    ("data", "models"),
+    ("hw", "selfsup", "transfer"),
+    ("diagnosis",),
+    ("core",),
+    ("fleet",),
+    ("topology",),
+    ("scenario", "reports"),
+)
+
+_TIER_OF = {name: i for i, group in enumerate(_TIERS) for name in group}
+
+
+def _module_tier(module: str) -> int | None:
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != "repro":
+        return None
+    return _TIER_OF.get(parts[1])
+
+
+def _highest_reachable_chain(
+    graph: ProjectGraph, edges: dict, start: str
+) -> tuple[str, ...]:
+    """Shortest module-level import chain from ``start`` to the
+    highest-tier module it reaches (itself, if nothing higher)."""
+    start_tier = _module_tier(start) or 0
+    best = (start_tier, (start,))
+    seen = {start}
+    frontier = [(start,)]
+    while frontier:
+        nxt = []
+        for chain in frontier:
+            known = graph.known_module(chain[-1])
+            if known is None:
+                continue
+            for target, _, _ in edges.get(known, ()):
+                if target in seen:
+                    continue
+                seen.add(target)
+                extended = chain + (target,)
+                tier = _module_tier(target)
+                if tier is not None and tier > best[0]:
+                    best = (tier, extended)
+                nxt.append(extended)
+        frontier = nxt
+    return best[1]
+
+
+def _strongly_connected(adjacency: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative), deterministic under sorted adjacency."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in adjacency:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+def layering_findings(rule, graph: ProjectGraph) -> Iterable[Finding]:
+    """Upward module-level imports and import cycles across tiers."""
+    edges = graph.import_edges(module_level_only=True)
+
+    # Upward imports (tier inversion).  Tiers are judged on the dotted
+    # names alone, so an import of a module outside the linted file set
+    # is still checked.
+    for module in sorted(edges):
+        src_tier = _module_tier(module)
+        if src_tier is None:
+            continue
+        analysis = graph.by_module[module]
+        for target, line, col in edges[module]:
+            dst_tier = _module_tier(target)
+            if dst_tier is None or dst_tier <= src_tier:
+                continue
+            chain = _highest_reachable_chain(graph, edges, target)
+            group = "/".join(_TIERS[src_tier])
+            yield Finding(
+                file=analysis.display,
+                line=line,
+                col=col,
+                code=rule.code,
+                message=(
+                    f"layering violation: `{module}` (tier {src_tier}: "
+                    f"{group}) imports `{target}` (tier {dst_tier}) at "
+                    "module level; import chain: "
+                    f"{' -> '.join((module,) + chain)} — defer the import "
+                    "into the function that needs it, or move the "
+                    "dependency down a tier"
+                ),
+            )
+
+    # Cycles among the linted modules (any tier — even within one).
+    adjacency: dict[str, list[str]] = {}
+    self_loop: set[str] = set()
+    for module, targets in edges.items():
+        succ = set()
+        for target, _, _ in targets:
+            known = graph.known_module(target)
+            if known is None:
+                continue
+            if known == module:
+                self_loop.add(module)
+            else:
+                succ.add(known)
+        adjacency[module] = sorted(succ)
+    for scc in sorted(_strongly_connected(adjacency)):
+        cycle = scc if len(scc) > 1 else [m for m in scc if m in self_loop]
+        if not cycle:
+            continue
+        anchor = cycle[0]
+        analysis = graph.by_module[anchor]
+        member = next(
+            (t for t, _, _ in edges[anchor] if graph.known_module(t) in cycle),
+            None,
+        )
+        line, col = 1, 0
+        for target, tline, tcol in edges[anchor]:
+            if target == member:
+                line, col = tline, tcol
+                break
+        yield Finding(
+            file=analysis.display,
+            line=line,
+            col=col,
+            code=rule.code,
+            message=(
+                "import cycle at module level: "
+                f"{' -> '.join(cycle + [cycle[0]])} — the layering "
+                "contract requires an acyclic module-level import graph; "
+                "break the cycle with a deferred (function-level) import"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache
+
+
+def _lint_signature(codes: Iterable[str]) -> str:
+    """Hash of the linter's own sources plus the selected rule codes.
+
+    Any change to the lint package, the interpreter minor version, or
+    the rule selection (``--select``/``--ignore``) invalidates the whole
+    cache — cached findings are only replayable for the run shape that
+    produced them.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{CACHE_VERSION}:{sys.version_info[:2]}".encode())
+    digest.update(",".join(sorted(codes)).encode())
+    package = Path(__file__).parent
+    for name in sorted(p.name for p in package.glob("*.py")):
+        digest.update((package / name).read_bytes())
+    return digest.hexdigest()
+
+
+class ProjectCache:
+    """Content-hash cache of per-file analyses (summaries + findings)."""
+
+    def __init__(self, path: Path, codes: Iterable[str] = ()) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._sig = _lint_signature(codes)
+        self._files: dict[str, dict] = {}
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if raw.get("version") == CACHE_VERSION and raw.get("sig") == self._sig:
+            self._files = raw.get("files", {})
+
+    def load(self, display: str, digest: str) -> FileAnalysis | None:
+        entry = self._files.get(display)
+        if entry is None or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return analysis_from_cache(display, entry, FileSummary.from_dict)
+
+    def store(self, display: str, digest: str, analysis: FileAnalysis) -> None:
+        self._files[display] = analysis_to_cache(analysis, digest)
+        self._dirty = True
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "sig": self._sig,
+            "files": {k: self._files[k] for k in sorted(self._files)},
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # read-only checkout: run uncached
+        self._dirty = False
+
+
+# ---------------------------------------------------------------------------
+# Project orchestration
+
+
+@dataclass
+class ProjectResult:
+    findings: list
+    analyses: list
+    graph: ProjectGraph
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def files_for_modules(self, modules: Iterable[str]) -> set[str]:
+        wanted = set(modules)
+        out = set()
+        for analysis in self.analyses:
+            summary = analysis.summary
+            if summary is None:
+                continue
+            if summary.module in wanted:
+                out.add(analysis.display)
+                continue
+            for target, _, _, _ in summary.imports:
+                known = self.graph.known_module(target)
+                if known in wanted:
+                    out.add(analysis.display)
+                    break
+        return out
+
+
+def lint_project(
+    paths: Iterable[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    cache_path: Path | str | None = None,
+) -> ProjectResult:
+    """Lint a file set with per-file *and* whole-program rules.
+
+    This is the engine behind ``lint_paths`` and the CLI: per-file rules
+    run (or load from cache) first, the project graph is assembled from
+    the file summaries, the whole-program rules run over the graph, and
+    suppression accounting (RPR010) is settled last so a pragma may
+    suppress either kind of finding.
+    """
+    run = RULES if rules is None else tuple(rules)
+    per_file = tuple(r for r in run if not r.meta and not r.whole_program)
+    graph_rules = tuple(r for r in run if r.whole_program)
+    run_codes = {r.code for r in run}
+
+    cache = (
+        ProjectCache(Path(cache_path), run_codes)
+        if cache_path is not None
+        else None
+    )
+    analyses: list[FileAnalysis] = []
+    for path in iter_python_files(paths):
+        display = str(path)
+        source = path.read_bytes()
+        digest = hashlib.sha256(source).hexdigest()
+        analysis = cache.load(display, digest) if cache is not None else None
+        if analysis is None:
+            analysis = analyze_file(
+                path, source.decode("utf-8"), rules=per_file, run_codes=run_codes
+            )
+            if cache is not None:
+                cache.store(display, digest, analysis)
+        analyses.append(analysis)
+    if cache is not None:
+        cache.flush()
+
+    graph = ProjectGraph(analyses)
+    findings: list[Finding] = []
+    for analysis in analyses:
+        findings.extend(analysis.findings)
+    for rule in graph_rules:
+        for finding in rule.check_project(graph):
+            analysis = next(
+                (a for a in analyses if a.display == finding.file), None
+            )
+            if analysis is not None:
+                analysis.apply_suppressions(finding)
+            findings.append(finding)
+    for analysis in analyses:
+        findings.extend(unused_suppression_findings(analysis, run_codes))
+
+    findings.sort(key=Finding.sort_key)
+    return ProjectResult(
+        findings=findings,
+        analyses=analyses,
+        graph=graph,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )

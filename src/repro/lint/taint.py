@@ -1,0 +1,158 @@
+"""RPR013: forward seed-provenance taint over the project call graph.
+
+The per-file rules can ban *unseeded* Generators (RPR002) and *shadowed*
+``rng`` parameters (RPR003), but they cannot see a Generator that is
+locally seeded yet globally unseeded — ``default_rng(1234)`` buried in a
+fleet helper, or a literal passed three calls down into a parameter that
+eventually seeds an RNG.  Such a stream is deterministic in isolation
+but unreachable from the experiment's ``SeedSequence`` tree, so the
+per-(node,stage) reseeding discipline silently loses control of it.
+
+The analysis is a two-phase fixpoint over the
+:class:`repro.lint.graph.ProjectGraph`:
+
+1. **Sink discovery.**  Every ``numpy.random.default_rng`` /
+   ``numpy.random.SeedSequence`` call is a sink; its first positional
+   argument was classified during summary extraction as ``prov``
+   (derived from a parameter / ``self`` / an approved-root import),
+   ``lit`` (built purely from constants), or ``opq`` (untrackable,
+   never flagged).  A ``prov`` argument promotes the originating
+   parameters to *seed parameters* of their function.
+
+2. **Propagation.**  A call site binding an argument to a callee's seed
+   parameter is itself a sink one level removed: ``prov`` arguments
+   promote the caller's parameters in turn (to fixpoint), recording the
+   shortest call chain down to the concrete sink.
+
+After convergence, every ``lit`` argument feeding a sink — directly or
+through seed parameters — is a violation, unless the containing module
+is an approved seed root (``repro.core``, ``repro.reports``, a ``*.cli``
+module, or ``repro.__main__``: exactly the places a run's root seed is
+*supposed* to be written down) or the call is the RPR003-blessed
+``rng if rng is not None else default_rng(seed)`` fallback.  Only
+function bodies are analyzed: a module-level constant Generator is
+import-time, greppable state and stays per-file rules' territory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import Finding
+from repro.lint.graph import _APPROVED_SEED_PREFIXES, _SEED_SINKS, ProjectGraph
+
+__all__ = ["seed_findings"]
+
+
+def _flaggable_module(module: str | None) -> bool:
+    """True when literal seeds in ``module`` violate the contract."""
+    if module is None:
+        return False
+    if module != "repro" and not module.startswith("repro."):
+        return False
+    for prefix in _APPROVED_SEED_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return False
+    if module.endswith(".cli") or module == "repro.__main__":
+        return False
+    return True
+
+
+def _bindings(call, params):
+    """Yield (param_name, (cls, roots, line, col)) for a call's arguments."""
+    for pos, arg in enumerate(call.args):
+        if pos >= len(params):
+            break
+        yield params[pos], arg
+    for name, value in sorted(call.kwargs.items()):
+        if name in params:
+            yield name, value
+
+
+def seed_findings(rule, graph: ProjectGraph) -> Iterable[Finding]:
+    # (function id, param name) -> call chain from that param down to the
+    # sink, ending with the sink's qualified name.
+    seed_params: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    # Phase 1: direct sinks promote parameters.
+    for fid in sorted(graph.functions):
+        info, _ = graph.functions[fid]
+        for call in info.calls:
+            if call.ref not in _SEED_SINKS or call.fallback or not call.args:
+                continue
+            cls, roots = call.args[0][0], call.args[0][1]
+            if cls != "prov":
+                continue
+            for root in roots:
+                key = (fid, root)
+                if root in info.params and key not in seed_params:
+                    seed_params[key] = (fid, call.ref)
+
+    # Phase 2: propagate seed parameters up the call graph to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for fid in sorted(graph.functions):
+            info, _ = graph.functions[fid]
+            module, qual = fid.split("::", 1)
+            for call in info.calls:
+                target = graph.resolve_call(module, qual, call.ref)
+                if target is None:
+                    continue
+                tinfo, _ = graph.functions[target]
+                for pname, (cls, roots, _line, _col) in _bindings(
+                    call, tinfo.params
+                ):
+                    chain = seed_params.get((target, pname))
+                    if chain is None or cls != "prov":
+                        continue
+                    for root in roots:
+                        key = (fid, root)
+                        if root in info.params and key not in seed_params:
+                            seed_params[key] = (fid,) + chain
+                            changed = True
+
+    # Collection: literal arguments feeding any sink, after convergence.
+    violations: dict[tuple[str, int, int], tuple[str, ...]] = {}
+    for fid in sorted(graph.functions):
+        info, analysis = graph.functions[fid]
+        if not _flaggable_module(analysis.module):
+            continue
+        module, qual = fid.split("::", 1)
+        for call in info.calls:
+            if (
+                call.ref in _SEED_SINKS
+                and not call.fallback
+                and call.args
+                and call.args[0][0] == "lit"
+            ):
+                key = (analysis.display, call.args[0][2], call.args[0][3])
+                violations.setdefault(key, (fid, call.ref))
+            target = graph.resolve_call(module, qual, call.ref)
+            if target is None:
+                continue
+            tinfo, _ = graph.functions[target]
+            for pname, (cls, _roots, line, col) in _bindings(
+                call, tinfo.params
+            ):
+                chain = seed_params.get((target, pname))
+                if chain is not None and cls == "lit":
+                    key = (analysis.display, line, col)
+                    violations.setdefault(key, (fid,) + chain)
+
+    for (display, line, col) in sorted(violations):
+        chain = violations[(display, line, col)]
+        path = " -> ".join(chain[:-1])
+        yield Finding(
+            file=display,
+            line=line,
+            col=col,
+            code=rule.code,
+            message=(
+                f"literal seed reaches `{chain[-1]}` via {path}: derive "
+                "the seed from a SeedSequence-threaded parameter, or "
+                "define the root seed in repro.core / a CLI entry point "
+                "(the seeded `rng if rng is not None else "
+                "default_rng(seed)` fallback is exempt)"
+            ),
+        )

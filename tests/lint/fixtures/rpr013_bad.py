@@ -1,0 +1,14 @@
+"""Fixture: literal seeds reaching RNG sinks through the call graph (RPR013)."""
+# repro-lint: module=repro.fleet.fake
+
+import numpy as np
+
+
+def _spawn(seed):
+    return np.random.default_rng(seed)
+
+
+def build_node():
+    rng = np.random.default_rng(1234)
+    peer = _spawn(7)
+    return rng, peer

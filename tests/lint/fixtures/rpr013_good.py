@@ -1,0 +1,17 @@
+"""Fixture: seeds threaded from SeedSequence-derived parameters (clean for RPR013)."""
+# repro-lint: module=repro.fleet.fake
+
+import numpy as np
+
+_SALT = 0x5EED
+
+
+def _spawn(seed):
+    return np.random.default_rng(seed)
+
+
+def build_node(node_seed, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    peer = _spawn(node_seed)
+    stream = np.random.SeedSequence((node_seed, _SALT))
+    return rng, peer, stream

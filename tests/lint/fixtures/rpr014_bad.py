@@ -1,0 +1,25 @@
+"""Fixture: module state written by pool-worker-reachable code (RPR014)."""
+# repro-lint: module=repro.fleet.pool
+
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+_STATS = []
+
+
+def _record(entry):
+    _STATS.append(entry)
+
+
+def _worker_init():
+    _CACHE["assets"] = object()
+
+
+def _worker_chunk(task):
+    _record(task)
+    return task
+
+
+def run(tasks):
+    executor = ProcessPoolExecutor(initializer=_worker_init)
+    return [executor.submit(_worker_chunk, task) for task in tasks]

@@ -1,0 +1,18 @@
+"""Fixture: workers only read module state; the parent writes (clean for RPR014)."""
+# repro-lint: module=repro.fleet.pool
+
+from concurrent.futures import ProcessPoolExecutor
+
+_LIMITS = {"batch": 32}
+_SUBMITTED = []
+
+
+def _worker_chunk(task):
+    return task * _LIMITS["batch"]
+
+
+def run(tasks):
+    executor = ProcessPoolExecutor()
+    futures = [executor.submit(_worker_chunk, task) for task in tasks]
+    _SUBMITTED.append(len(futures))
+    return futures

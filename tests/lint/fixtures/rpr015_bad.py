@@ -1,0 +1,9 @@
+"""Fixture: a low tier importing engine/orchestration tiers (RPR015)."""
+# repro-lint: module=repro.events.fake
+
+import repro.fleet.simulation
+from repro.topology import gateway
+
+
+def kernel_step(queue):
+    return repro.fleet.simulation, gateway, queue

@@ -1,0 +1,8 @@
+"""Fixture: module-level import cycle, half A (RPR015, linted with half B)."""
+# repro-lint: module=repro.fleet.cycle_a
+
+import repro.fleet.cycle_b
+
+
+def ping():
+    return repro.fleet.cycle_b.pong()

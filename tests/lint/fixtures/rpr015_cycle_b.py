@@ -1,0 +1,8 @@
+"""Fixture: module-level import cycle, half B (RPR015, linted with half A)."""
+# repro-lint: module=repro.fleet.cycle_b
+
+import repro.fleet.cycle_a
+
+
+def pong():
+    return repro.fleet.cycle_a.ping()

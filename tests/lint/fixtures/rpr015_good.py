@@ -1,0 +1,10 @@
+"""Fixture: downward module-level imports; deferred upward import (clean for RPR015)."""
+# repro-lint: module=repro.fleet.fake
+
+from repro.events import kernel
+
+
+def run_epoch(spec):
+    from repro.topology import gateway  # the sanctioned inversion seam
+
+    return kernel, gateway, spec

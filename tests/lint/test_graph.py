@@ -1,0 +1,334 @@
+"""The whole-program layer: project graph, taint, cache, --since, SARIF."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source, render_json, render_sarif
+from repro.lint.cli import main
+from repro.lint.graph import lint_project, reverse_dependency_closure
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _write(path: Path, *lines: str) -> Path:
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestLayeringGraph:
+    def test_cycle_pair_yields_one_finding_citing_the_full_chain(self):
+        findings = lint_paths(
+            [FIXTURES / "rpr015_cycle_a.py", FIXTURES / "rpr015_cycle_b.py"]
+        )
+        active = [f for f in findings if not f.suppressed]
+        assert [f.code for f in active] == ["RPR015"]
+        (finding,) = active
+        assert finding.file.endswith("rpr015_cycle_a.py")
+        assert (
+            "repro.fleet.cycle_a -> repro.fleet.cycle_b -> repro.fleet.cycle_a"
+            in finding.message
+        )
+
+    def test_cycle_halves_are_clean_in_isolation(self):
+        # Each half's import target is unknown when linted alone; the
+        # cycle only exists — and is only reported — project-wide.
+        for name in ("rpr015_cycle_a.py", "rpr015_cycle_b.py"):
+            findings = lint_paths([FIXTURES / name])
+            assert [f for f in findings if not f.suppressed] == []
+
+    def test_reverse_dependency_closure_walks_importers(self, tmp_path):
+        a = _write(
+            tmp_path / "a.py",
+            "# repro-lint: module=repro.nn.fa",
+            "X = 1",
+        )
+        b = _write(
+            tmp_path / "b.py",
+            "# repro-lint: module=repro.nn.fb",
+            "import repro.nn.fa",
+        )
+        c = _write(
+            tmp_path / "c.py",
+            "# repro-lint: module=repro.nn.fc",
+            "Y = 2",
+        )
+        result = lint_project([a, b, c])
+        closure = reverse_dependency_closure(result.graph, {"repro.nn.fa"})
+        assert closure == {"repro.nn.fa", "repro.nn.fb"}
+
+
+class TestSeedTaint:
+    def test_literal_seed_traced_through_two_call_hops(self, tmp_path):
+        mod = _write(
+            tmp_path / "deep.py",
+            "# repro-lint: module=repro.fleet.deep",
+            "import numpy as np",
+            "",
+            "def leaf(seed):",
+            "    return np.random.default_rng(seed)",
+            "",
+            "def mid(s):",
+            "    return leaf(s)",
+            "",
+            "def top():",
+            "    return mid(99)",
+        )
+        active = [f for f in lint_paths([mod]) if not f.suppressed]
+        assert [f.code for f in active] == ["RPR013"]
+        (finding,) = active
+        assert finding.line == 11  # the literal 99 at the call site
+        for hop in ("top", "mid", "leaf"):
+            assert hop in finding.message
+
+    def test_keyword_seed_binding_is_tracked(self, tmp_path):
+        mod = _write(
+            tmp_path / "kw.py",
+            "# repro-lint: module=repro.fleet.kw",
+            "import numpy as np",
+            "",
+            "def spawn(node_seed=None):",
+            "    return np.random.default_rng(node_seed)",
+            "",
+            "def build():",
+            "    return spawn(node_seed=7)",
+        )
+        active = [f for f in lint_paths([mod]) if not f.suppressed]
+        assert [(f.code, f.line) for f in active] == [("RPR013", 8)]
+
+    def test_seed_sequence_derivation_is_provenance(self, tmp_path):
+        mod = _write(
+            tmp_path / "prov.py",
+            "# repro-lint: module=repro.fleet.prov",
+            "import numpy as np",
+            "",
+            "def spawn(node_seed):",
+            "    seq = np.random.SeedSequence(node_seed)",
+            "    return np.random.default_rng(seq.spawn(1)[0])",
+            "",
+            "def build(root_seed):",
+            "    return spawn(root_seed)",
+        )
+        assert [f for f in lint_paths([mod]) if not f.suppressed] == []
+
+
+class TestWorkerReachability:
+    def test_mutation_reached_through_deferred_cross_module_import(
+        self, tmp_path
+    ):
+        pool = _write(
+            tmp_path / "pool.py",
+            "# repro-lint: module=repro.fleet.pool",
+            "",
+            "def _chunk(task):",
+            "    from repro.fleet.helpers import poke",
+            "    return poke(task)",
+            "",
+            "def run(executor, tasks):",
+            "    return [executor.submit(_chunk, t) for t in tasks]",
+        )
+        helpers = _write(
+            tmp_path / "helpers.py",
+            "# repro-lint: module=repro.fleet.helpers",
+            "_SEEN = []",
+            "",
+            "def poke(task):",
+            "    _SEEN.append(task)",
+            "    return task",
+        )
+        active = [
+            f for f in lint_paths([pool, helpers]) if not f.suppressed
+        ]
+        assert [f.code for f in active] == ["RPR014"]
+        (finding,) = active
+        assert finding.file.endswith("helpers.py")
+        assert "_SEEN" in finding.message
+
+
+class TestProjectCache:
+    BAD = (
+        "# repro-lint: module=repro.models.fake\n"
+        "import numpy as np\n"
+        "acc = np.zeros(3, dtype=np.float64)\n"
+    )
+
+    def test_warm_run_hits_and_reproduces_findings_exactly(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.BAD, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+
+        cold = lint_project([mod], cache_path=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        assert cache.exists()
+
+        warm = lint_project([mod], cache_path=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert render_json(warm.findings) == render_json(cold.findings)
+
+    def test_content_change_invalidates_only_that_entry(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.BAD, encoding="utf-8")
+        other = _write(tmp_path / "other.py", "X = 1")
+        cache = tmp_path / "cache.json"
+
+        lint_project([mod, other], cache_path=cache)
+        mod.write_text(self.BAD + "extra = 1\n", encoding="utf-8")
+        rerun = lint_project([mod, other], cache_path=cache)
+        assert (rerun.cache_hits, rerun.cache_misses) == (1, 1)
+
+    def test_corrupt_cache_is_ignored_then_rewritten(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.BAD, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+
+        result = lint_project([mod], cache_path=cache)
+        assert (result.cache_hits, result.cache_misses) == (0, 1)
+        assert [f.code for f in result.findings] == ["RPR004"]
+        json.loads(cache.read_text(encoding="utf-8"))  # healed
+
+    def test_rule_selection_changes_the_cache_signature(self, tmp_path):
+        from repro.lint import select_rules
+
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.BAD, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+
+        lint_project([mod], cache_path=cache)
+        narrowed = lint_project(
+            [mod],
+            rules=select_rules(select=("RPR001", "RPR010")),
+            cache_path=cache,
+        )
+        # The full-run entry must not satisfy the narrowed run.
+        assert narrowed.cache_misses == 1
+        assert narrowed.findings == []
+
+
+class TestSinceFilter:
+    @staticmethod
+    def _git(repo: Path, *args: str) -> None:
+        subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(repo),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+
+    def _seed_repo(self, repo: Path) -> None:
+        self._git(repo, "init", "-q")
+        _write(
+            repo / "fa.py",
+            "# repro-lint: module=repro.nn.fa",
+            "X = 1",
+        )
+        _write(
+            repo / "fb.py",
+            "# repro-lint: module=repro.nn.fb",
+            "import repro.nn.fa",
+            "import numpy as np",
+            "np.random.seed(1)",
+        )
+        _write(
+            repo / "fc.py",
+            "# repro-lint: module=repro.nn.fc",
+            "import numpy as np",
+            "np.random.seed(2)",
+        )
+        self._git(repo, "add", "-A")
+        self._git(repo, "commit", "-q", "-m", "seed")
+
+    def test_since_keeps_changed_files_and_their_importers(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        # Touch only fa: fb imports it (finding kept), fc does not
+        # (finding filtered out despite being active project-wide).
+        (tmp_path / "fa.py").write_text(
+            "# repro-lint: module=repro.nn.fa\nX = 2\n", encoding="utf-8"
+        )
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["fa.py", "fb.py", "fc.py", "--since", "HEAD", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {f["file"] for f in payload["findings"]} == {"fb.py"}
+
+    def test_since_with_no_changes_reports_nothing(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["fa.py", "fb.py", "fc.py", "--since", "HEAD", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["findings"] == []
+
+    def test_since_bad_revision_exits_2(self, tmp_path, monkeypatch, capsys):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["fa.py", "--since", "no-such-rev"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+class TestSarif:
+    SUPPRESSED = (
+        "import numpy as np\n"
+        "np.random.seed(1)  # repro-lint: ignore[RPR001] legacy API on "
+        "purpose\n"
+        "np.random.seed(2)\n"
+    )
+
+    def test_sarif_shape_rules_results_and_suppressions(self):
+        findings = lint_source(self.SUPPRESSED, "x.py")
+        payload = json.loads(render_sarif(findings))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert any(r["id"] == "RPR001" for r in rules)
+
+        by_line = {
+            r["locations"][0]["physicalLocation"]["region"]["startLine"]: r
+            for r in run["results"]
+        }
+        assert by_line[2]["suppressions"] == [
+            {"kind": "inSource", "justification": "legacy API on purpose"}
+        ]
+        assert "suppressions" not in by_line[3]
+        assert by_line[3]["ruleId"] == "RPR001"
+        uri = by_line[3]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "x.py"
+
+    def test_cli_sarif_run_is_byte_identical_and_cache_agnostic(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.SUPPRESSED, encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+
+        argv = [str(mod), "--format", "sarif"]
+        assert main(argv) == 1  # line 3 stays active
+        cold = capsys.readouterr().out
+        assert main(argv) == 1  # warm: served from .repro-lint-cache.json
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert (tmp_path / ".repro-lint-cache.json").exists()

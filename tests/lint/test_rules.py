@@ -29,6 +29,9 @@ CASES = {
     "RPR010": ("rpr010_bad.py", "rpr010_good.py"),
     "RPR011": ("rpr011_bad.py", "rpr011_good.py"),
     "RPR012": ("rpr012_bad.py", "rpr012_good.py"),
+    "RPR013": ("rpr013_bad.py", "rpr013_good.py"),
+    "RPR014": ("rpr014_bad.py", "rpr014_good.py"),
+    "RPR015": ("rpr015_bad.py", "rpr015_good.py"),
 }
 
 EXPECTED_BAD_COUNTS = {
@@ -44,6 +47,9 @@ EXPECTED_BAD_COUNTS = {
     "RPR010": 1,
     "RPR011": 3,  # time.time, time.perf_counter, datetime.datetime.now
     "RPR012": 2,  # ProcessPoolExecutor(...), shared_memory.SharedMemory(...)
+    "RPR013": 2,  # direct literal default_rng, literal through a seed param
+    "RPR014": 2,  # initializer subscript-write, transitive mutator call
+    "RPR015": 2,  # import of fleet tier, from-import of topology tier
 }
 
 
@@ -104,9 +110,13 @@ def test_qualify_does_not_flag_lookalike_attribute_chains():
 class TestTopologyScope:
     """The gateway tier is scheduling code: RPR006/RPR011 apply there.
 
-    The ISSUE for this change labels the set-iteration rule "RPR007";
-    in this repo RPR007 is the gradient-write rule and set iteration is
-    RPR006, so these fixtures pin RPR006's scope extension instead.
+    Historical note (resolved): the PR 6 ISSUE text mislabeled the
+    set-iteration rule as "RPR007".  The registry is and was the source
+    of truth — RPR006 is ``no-set-iteration`` and RPR007 is
+    ``grad-via-accumulate`` — and DESIGN §8 agrees; the identities are
+    pinned by ``TestDesignCrossReference`` (every Name/Scope cell must
+    equal the registry) and ``test_rpr006_rpr007_identities_are_pinned``
+    below, so a relabeling can no longer drift in silently.
     """
 
     @pytest.mark.parametrize(
@@ -139,11 +149,11 @@ class TestTopologyScope:
 class TestScenarioScope:
     """The scenario engine is scheduling code: RPR006/RPR011 apply there.
 
-    The ISSUE for this change labels the set-iteration rule "RPR007";
-    in this repo RPR007 is the gradient-write rule and set iteration is
-    RPR006, so these fixtures pin RPR006's scope extension instead.
-    RPR011 already spans all of ``src/repro`` — its fixtures pin that
-    ``repro.scenario`` modules inherit the ban rather than widening it.
+    Set iteration is RPR006 (see the historical note on
+    ``TestTopologyScope``: the registry and DESIGN §8 agree, and the
+    cross-reference tests pin the identities).  RPR011 already spans all
+    of ``src/repro`` — its fixtures pin that ``repro.scenario`` modules
+    inherit the ban rather than widening it.
     """
 
     @pytest.mark.parametrize(
@@ -205,3 +215,19 @@ class TestDesignCrossReference:
         rule = get_rule(code)
         assert name == rule.name
         assert scope == rule.scope
+
+    def test_rpr006_rpr007_identities_are_pinned(self):
+        # The PR 6 mix-up, nailed down: any future attempt to relabel
+        # these two rules (in the registry or in DESIGN §8, which the
+        # tests above hold cell-by-cell to the registry) fails here
+        # with the exact names in the diff.
+        from repro.lint import get_rule
+
+        assert get_rule("RPR006").name == "no-set-iteration"
+        assert get_rule("RPR007").name == "grad-via-accumulate"
+        assert get_rule("RPR006").scope == (
+            "repro.fleet, repro.events, repro.topology, and repro.scenario"
+        )
+        assert get_rule("RPR007").scope == (
+            "src/repro/nn, excluding nn.reference"
+        )

@@ -74,3 +74,72 @@ def test_suppression_only_applies_to_its_own_line():
     findings = lint_source(source, "x.py")
     active = [f for f in findings if not f.suppressed]
     assert [(f.code, f.line) for f in active] == [("RPR001", 3)]
+
+
+class TestMultiLineStatements:
+    """A suppression covers every physical line of its logical statement.
+
+    Pragmas land wherever the statement has room — the closing paren of
+    a wrapped call, the ``):`` of a multi-line signature — while the
+    finding anchors on the AST node's first line.  Span matching joins
+    the two; standalone comment lines and decorator lines stay separate
+    statements on purpose.
+    """
+
+    def test_pragma_on_closing_paren_covers_the_whole_call(self):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(\n"
+            "    1\n"
+            ")  # repro-lint: ignore[RPR001] spanning the full statement\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert [f for f in findings if not f.suppressed] == []
+        assert [f.code for f in findings if f.suppressed] == ["RPR001"]
+
+    def test_pragma_inside_chained_call_split_across_lines(self):
+        source = (
+            "import numpy as np\n"
+            "value = (\n"
+            "    np.random\n"
+            "    .seed(3)  # repro-lint: ignore[RPR001] chained call\n"
+            ")\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert [f for f in findings if not f.suppressed] == []
+        assert [f.code for f in findings if f.suppressed] == ["RPR001"]
+
+    def test_pragma_on_signature_close_covers_multiline_def(self):
+        source = (
+            "def bench_run(\n"
+            "    n,\n"
+            "):  # repro-lint: ignore[RPR008] script-path bench, not pytest\n"
+            "    return n\n"
+        )
+        findings = lint_source(source, "benchmarks/bench_x.py")
+        assert [f for f in findings if not f.suppressed] == []
+        assert [f.code for f in findings if f.suppressed] == ["RPR008"]
+
+    def test_decorator_line_is_its_own_statement(self):
+        # A pragma on a decorator must not leak onto the def below: the
+        # finding stays active and the suppression is condemned unused.
+        source = (
+            "import pytest\n"
+            "@pytest.mark.parametrize('n', [1])"
+            "  # repro-lint: ignore[RPR008] wrong line\n"
+            "def bench_run(n):\n"
+            "    return n\n"
+        )
+        findings = lint_source(source, "benchmarks/bench_x.py")
+        active = {f.code for f in findings if not f.suppressed}
+        assert active == {"RPR008", "RPR010"}
+
+    def test_standalone_comment_pragma_covers_only_its_own_line(self):
+        source = (
+            "import numpy as np\n"
+            "# repro-lint: ignore[RPR001] standalone comments do not attach\n"
+            "np.random.seed(1)\n"
+        )
+        findings = lint_source(source, "x.py")
+        active = {f.code for f in findings if not f.suppressed}
+        assert active == {"RPR001", "RPR010"}
