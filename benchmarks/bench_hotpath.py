@@ -456,10 +456,19 @@ def main(argv: list[str] | None = None) -> int:
                     f"{stage['speedup']:.2f}x <= 1.0x vs workers=1"
                 )
         if not armed:
-            print(
-                f"single core (cpu_count={os.cpu_count()}): speedup gate "
-                "disarmed, bit-identity still asserted"
+            warning = (
+                f"WARNING: fleet speedup gate UNARMED "
+                f"(cpu_count={os.cpu_count()} < 2): the workers>1 "
+                "speedup assertion did not run; bit-identity was still "
+                "asserted"
             )
+            print(warning)
+            step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+            if step_summary:
+                # Surface the disarmed gate in the CI job summary so a
+                # 1-core runner can't silently skip the speedup check.
+                with open(step_summary, "a", encoding="utf-8") as fh:
+                    fh.write(f":warning: {warning}\n")
         if args.out is not None:
             payload = {
                 "meta": {"cpu_count": os.cpu_count(), "gate_armed": armed},

@@ -53,6 +53,7 @@ from repro.fleet.simulation import (
     cloud_initialize,
     cloud_try_update,
     reseed_diagnoser,
+    rollback_attrs,
 )
 from repro.fleet.uplink import SharedUplink
 from repro.obs import metrics as obs_metrics
@@ -504,7 +505,12 @@ class _EventFleet:
         return arrivals
 
     def _record_update(
-        self, kind: str, trigger_s: float, outcome: CloudStageOutcome
+        self,
+        kind: str,
+        trigger_s: float,
+        outcome: CloudStageOutcome,
+        *,
+        stage: int,
     ) -> None:
         if self.sim.now > trigger_s:
             self.tracer.span(
@@ -512,6 +518,7 @@ class _EventFleet:
                 kind,
                 trigger_s,
                 self.sim.now,
+                stage=stage,
                 system=self.config.system_id,
                 pooled=outcome.pooled_for_training,
                 promoted=outcome.promoted,
@@ -520,9 +527,11 @@ class _EventFleet:
             "cloud",
             "decision",
             self.sim.now,
+            stage=stage,
             system=self.config.system_id,
             updated=outcome.updated,
             promoted=outcome.promoted,
+            **rollback_attrs(outcome),
         )
         self.report.updates.append(
             CloudUpdateRecord(
@@ -554,7 +563,7 @@ class _EventFleet:
             all_node_ids=self.all_node_ids,
         )
         yield self.sim.timeout(outcome.modeled_update_time_s)
-        self._record_update("init", trigger, outcome)
+        self._record_update("init", trigger, outcome, stage=0)
         yield from self._deliver_outcome(outcome, stage_hint=0)
         while True:
             arrival = yield self.arrivals.get()
@@ -589,7 +598,9 @@ class _EventFleet:
                     yield self.sim.timeout(outcome.modeled_update_time_s)
                 if not outcome.updated:
                     break
-                self._record_update("rollout", trigger, outcome)
+                self._record_update(
+                    "rollout", trigger, outcome, stage=latest_epoch
+                )
                 yield from self._deliver_outcome(
                     outcome, stage_hint=latest_epoch
                 )
@@ -637,6 +648,7 @@ class _EventFleet:
                     "init" if round_index == 0 else "rollout",
                     trigger,
                     outcome,
+                    stage=round_index,
                 )
             yield from self._deliver_outcome(outcome, stage_hint=round_index)
             if self.horizon_s is not None:

@@ -497,6 +497,26 @@ class CloudStageOutcome:
     rollout: RolloutResult | None = None
 
 
+def rollback_attrs(outcome: CloudStageOutcome) -> dict:
+    """Additive ``cloud/decision`` attrs explaining a canary rollback.
+
+    Every engine (lockstep, event, topology, scenario) emits its
+    decision event through this one helper so the rollback ``cause`` /
+    ``delta`` attrs stay byte-identical across flat and passthrough
+    paths.  Empty for promotions and no-ops, so existing decision
+    events keep their exact attr set.
+    """
+    if not outcome.updated or outcome.promoted or outcome.rollout is None:
+        return {}
+    decision = outcome.rollout.decision
+    if decision.accepted:
+        return {}
+    return {
+        "cause": "canary-regression",
+        "delta": round(decision.delta, 6),
+    }
+
+
 def cloud_initialize(
     stage_index: int,
     uploads: list[Dataset],
@@ -995,6 +1015,7 @@ def _run_fleet_schedule(
                 system=config.system_id,
                 updated=outcome.updated,
                 promoted=outcome.promoted,
+                **rollback_attrs(outcome),
             )
             for profile in profiles:
                 down_bytes = push_bytes_per_node[profile.node_id]

@@ -848,6 +848,71 @@ _register(
 
 
 # ---------------------------------------------------------------------------
+# RPR016 — run telemetry goes through repro.obs, not raw print/json.dump
+
+
+#: The simulation/orchestration layers whose run telemetry must flow
+#: through the observability channel (Tracer spans/events and the
+#: MetricsRegistry) instead of ad-hoc stdout/file writes.  ``*.cli``
+#: modules are the sanctioned human-facing print surface.
+_ENGINE_TELEMETRY_MODULES = (
+    "repro.core",
+    "repro.events",
+    "repro.fleet",
+    "repro.scenario",
+    "repro.topology",
+)
+
+_RAW_TELEMETRY_CALLS = {"print", "json.dump", "json.dumps"}
+
+
+class _TelemetryViaObs(Rule):
+    def applies(self, ctx: "FileContext") -> bool:
+        if not ctx.in_module(*_ENGINE_TELEMETRY_MODULES):
+            return False
+        return not (ctx.module or "").endswith(".cli")
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualify(node.func)
+            if qualified in _RAW_TELEMETRY_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw telemetry emission `{qualified}` in an engine "
+                    "module: run telemetry flows through repro.obs "
+                    "(Tracer spans/events, MetricsRegistry dumps) so it "
+                    "stays byte-stable and analyzable by obs "
+                    "critical-path/diff/health; *.cli modules are the "
+                    "sanctioned print surface",
+                )
+
+
+_register(
+    _TelemetryViaObs(
+        code="RPR016",
+        name="telemetry-via-obs",
+        summary=(
+            "engine modules must not emit run telemetry via raw "
+            "print/json.dump"
+        ),
+        rationale=(
+            "a stray print or json.dump scatters run telemetry outside "
+            "the schema-v1 trace and the metrics registry, where it is "
+            "neither byte-stable across reruns nor reachable by the "
+            "streaming trace analyses"
+        ),
+        scope=(
+            "repro.core/events/fleet/scenario/topology, "
+            "excluding *.cli modules"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
 # RPR013 / RPR014 / RPR015 — whole-program rules (repro.lint.graph)
 #
 # These need the project-wide import DAG and call graph, so their logic

@@ -16,6 +16,17 @@ RPR011 enforces this), keeping host time out of every simulated code
 path.
 """
 
+from repro.obs.analyze import (
+    Divergence,
+    critical_path,
+    diff_json_docs,
+    explain_divergence,
+    first_divergence,
+    health_report,
+    render_critical_path,
+    render_divergence,
+    render_health,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -35,9 +46,11 @@ from repro.obs.profile import (
     reset_profiling,
 )
 from repro.obs.trace import (
+    TraceFormatError,
     TraceRecord,
     Tracer,
     chrome_trace,
+    iter_jsonl,
     make_event,
     make_span,
     read_jsonl,
@@ -46,15 +59,23 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Divergence",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TraceFormatError",
     "TraceRecord",
     "Tracer",
     "active_metrics",
     "chrome_trace",
+    "critical_path",
+    "diff_json_docs",
     "disable_profiling",
     "enable_profiling",
+    "explain_divergence",
+    "first_divergence",
+    "health_report",
+    "iter_jsonl",
     "make_event",
     "make_span",
     "profile_section",
@@ -62,6 +83,9 @@ __all__ = [
     "profiled",
     "profiling_enabled",
     "read_jsonl",
+    "render_critical_path",
+    "render_divergence",
+    "render_health",
     "reset_profiling",
     "use_metrics",
 ]

@@ -1,4 +1,4 @@
-"""``python -m repro obs`` — summarize and convert trace files.
+"""``python -m repro obs`` — summarize, analyze, and convert traces.
 
 Subcommands:
 
@@ -10,9 +10,28 @@ Subcommands:
     scenario-engine traces group it by class-incremental phase (from the
     records' ``phase`` attribute).
 
+``critical-path TRACE [--top K] [--json]``
+    Makespan-critical chain through the span DAG, attributed per
+    (tier, op, actor) as a sorted bottleneck table.
+
+``diff A B``
+    First-divergence localization between two traces (record index,
+    field-level attr diff, enclosing span stack) or two JSON documents
+    (metrics dumps, summaries — first divergent path).  Exits 1 when
+    the inputs diverge, 0 when identical.
+
+``health TRACE [--z-threshold Z] [--metrics METRICS] [-o OUT] [--json]``
+    Fleet health report: per-node straggler z-scores, upload
+    starvation, per-tier utilization, canary rollback causes.
+
 ``convert TRACE -o OUT [--format chrome]``
     Re-export a schema-v1 JSONL trace, e.g. to the Chrome
     ``trace_event`` format that ``chrome://tracing`` / Perfetto open.
+
+Every analysis consumes the trace through the streaming reader
+(:func:`repro.obs.trace.iter_jsonl`): memory stays constant in the
+trace length, and malformed lines surface as ``path:line:``-anchored
+errors instead of stack traces.
 """
 
 from __future__ import annotations
@@ -21,7 +40,22 @@ import argparse
 import json
 from collections import defaultdict
 
-from repro.obs.trace import TraceRecord, chrome_trace, read_jsonl
+from repro.obs.analyze import (
+    critical_path,
+    diff_json_docs,
+    first_divergence,
+    health_report,
+    render_critical_path,
+    render_divergence,
+    render_health,
+    render_json,
+)
+from repro.obs.trace import (
+    TraceFormatError,
+    TraceRecord,
+    chrome_trace,
+    iter_jsonl,
+)
 
 __all__ = ["main", "summarize"]
 
@@ -33,14 +67,16 @@ def _attr(record: TraceRecord, key: str):
     return None
 
 
-def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
-    """Render a one-screen text summary of a trace."""
-    if not records:
-        return "empty trace (0 records)\n"
-    spans = [r for r in records if r.kind == "span"]
-    events = [r for r in records if r.kind == "event"]
-    t_lo = min(r.t0 for r in records)
-    t_hi = max(r.t1 if r.t1 is not None else r.t0 for r in records)
+def summarize(records, *, limit: int = 12) -> str:
+    """Render a one-screen text summary of a trace.
+
+    ``records`` is any iterable of :class:`TraceRecord` — a list or the
+    streaming reader — consumed in a single pass.
+    """
+    n_spans = 0
+    n_events = 0
+    t_lo = None
+    t_hi = None
 
     by_cat: dict[str, dict] = defaultdict(
         lambda: {"spans": 0, "events": 0, "busy": 0.0}
@@ -53,11 +89,16 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
         lambda: {"spans": 0, "events": 0, "busy": 0.0}
     )
     for r in records:
+        t_lo = r.t0 if t_lo is None else min(t_lo, r.t0)
+        end = r.t1 if r.t1 is not None else r.t0
+        t_hi = end if t_hi is None else max(t_hi, end)
         row = by_cat[f"{r.cat}.{r.name}"]
         if r.kind == "span":
+            n_spans += 1
             row["spans"] += 1
             row["busy"] += r.duration_s
         else:
+            n_events += 1
             row["events"] += 1
         node = _attr(r, "node")
         if node is not None and r.kind == "span":
@@ -80,8 +121,12 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
             else:
                 prow["events"] += 1
 
+    total = n_spans + n_events
+    if total == 0:
+        return "empty trace (0 records)\n"
+
     lines = [
-        f"records: {len(records)} ({len(spans)} spans, {len(events)} events)",
+        f"records: {total} ({n_spans} spans, {n_events} events)",
         f"virtual window: {t_lo:.3f} .. {t_hi:.3f} s "
         f"({t_hi - t_lo:.3f} s)",
         "",
@@ -138,10 +183,58 @@ def summarize(records: list[TraceRecord], *, limit: int = 12) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _looks_like_json_doc(path: str) -> bool:
+    """A file opening with ``{``/``[`` is a JSON document, not JSONL.
+
+    Trace lines are objects too, but schema-v1 traces are exactly one
+    compact object per line while metrics dumps and summaries are
+    indented multi-line documents — the second line disambiguates.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline().strip()
+        second = fh.readline()
+    if not first.startswith(("{", "[")):
+        return False
+    try:
+        json.loads(first)
+    except json.JSONDecodeError:
+        return True  # multi-line document: first line alone won't parse
+    return not second.strip()  # whole doc on one line with nothing after
+
+
+def _run_diff(path_a: str, path_b: str) -> int:
+    if _looks_like_json_doc(path_a) and _looks_like_json_doc(path_b):
+        with open(path_a, "r", encoding="utf-8") as fh:
+            obj_a = json.load(fh)
+        with open(path_b, "r", encoding="utf-8") as fh:
+            obj_b = json.load(fh)
+        found = diff_json_docs(obj_a, obj_b)
+        if found is None:
+            print(f"identical: {path_a} == {path_b}")
+            return 0
+        path, va, vb = found
+        print(f"first divergence at {path}")
+        print(f"  {path_a}: {json.dumps(va, sort_keys=True)}")
+        print(f"  {path_b}: {json.dumps(vb, sort_keys=True)}")
+        return 1
+    with open(path_a, "r", encoding="utf-8") as fh_a:
+        with open(path_b, "r", encoding="utf-8") as fh_b:
+            div = first_divergence(fh_a, fh_b)
+    if div is None:
+        print(f"identical: {path_a} == {path_b}")
+        return 0
+    print(
+        render_divergence(div, label_a=path_a, label_b=path_b), end=""
+    )
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
-        description="Summarize or convert repro trace files (schema v1).",
+        description=(
+            "Summarize, analyze, or convert repro trace files (schema v1)."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -152,6 +245,45 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=12,
         help="max category rows to print (default: 12)",
+    )
+
+    p_cp = sub.add_parser(
+        "critical-path", help="makespan-critical chain attribution"
+    )
+    p_cp.add_argument("trace", help="JSONL trace file (schema v1)")
+    p_cp.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="max bottleneck rows (default: 10)",
+    )
+    p_cp.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+
+    p_diff = sub.add_parser(
+        "diff", help="first divergence between two traces or JSON dumps"
+    )
+    p_diff.add_argument("a", help="first trace / JSON file")
+    p_diff.add_argument("b", help="second trace / JSON file")
+
+    p_health = sub.add_parser("health", help="fleet health report")
+    p_health.add_argument("trace", help="JSONL trace file (schema v1)")
+    p_health.add_argument(
+        "--z-threshold",
+        type=float,
+        default=2.0,
+        help="straggler z-score threshold (default: 2.0)",
+    )
+    p_health.add_argument(
+        "--metrics",
+        help="metrics JSON dump to fold ledger totals in from",
+    )
+    p_health.add_argument(
+        "-o", "--out", help="also write the JSON report to this path"
+    )
+    p_health.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
     )
 
     p_conv = sub.add_parser("convert", help="re-export a trace file")
@@ -167,19 +299,60 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
-    records = read_jsonl(args.trace)
-    if args.command == "summarize":
-        if args.limit < 1:
-            parser.error("--limit must be at least 1")
-        print(summarize(records, limit=args.limit), end="")
+    if args.command == "diff":
+        return _run_diff(args.a, args.b)
+    try:
+        if args.command == "summarize":
+            if args.limit < 1:
+                parser.error("--limit must be at least 1")
+            print(
+                summarize(iter_jsonl(args.trace), limit=args.limit),
+                end="",
+            )
+            return 0
+        if args.command == "critical-path":
+            if args.top < 1:
+                parser.error("--top must be at least 1")
+            result = critical_path(iter_jsonl(args.trace), top=args.top)
+            if args.json:
+                print(render_json(result), end="")
+            else:
+                print(render_critical_path(result), end="")
+            return 0
+        if args.command == "health":
+            metrics = None
+            if args.metrics:
+                with open(args.metrics, "r", encoding="utf-8") as fh:
+                    metrics = json.load(fh)
+            report = health_report(
+                iter_jsonl(args.trace),
+                z_threshold=args.z_threshold,
+                metrics=metrics,
+            )
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(render_json(report))
+            if args.json:
+                print(render_json(report), end="")
+            else:
+                print(render_health(report), end="")
+            return 0
+        # convert: the chrome exporter needs the full record list; the
+        # jsonl re-export streams.
+        if args.format == "chrome":
+            records = list(iter_jsonl(args.trace))
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(chrome_trace(records), fh, sort_keys=True)
+                fh.write("\n")
+            count = len(records)
+        else:
+            count = 0
+            with open(args.out, "w", encoding="utf-8") as fh:
+                for record in iter_jsonl(args.trace):
+                    fh.write(record.to_json() + "\n")
+                    count += 1
+        print(f"wrote {args.format} trace: {args.out} ({count} records)")
         return 0
-    if args.format == "chrome":
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(chrome_trace(records), fh, sort_keys=True)
-            fh.write("\n")
-    else:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(record.to_json() + "\n")
-    print(f"wrote {args.format} trace: {args.out} ({len(records)} records)")
-    return 0
+    except TraceFormatError as err:
+        print(f"error: {err}")
+        return 1

@@ -30,13 +30,19 @@ from dataclasses import dataclass, field
 from repro.obs.clock import wall_time
 
 __all__ = [
+    "TraceFormatError",
     "TraceRecord",
     "Tracer",
     "chrome_trace",
+    "iter_jsonl",
     "make_event",
     "make_span",
     "read_jsonl",
 ]
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates schema v1; message is ``path:line:``-anchored."""
 
 _Attrs = tuple[tuple[str, object], ...]
 
@@ -222,29 +228,59 @@ def chrome_trace(records) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def read_jsonl(path) -> list[TraceRecord]:
-    """Load a schema-v1 JSONL trace back into records."""
-    records = []
+_REQUIRED_KEYS = ("kind", "cat", "name", "t0", "t1")
+
+
+def _parse_line(path, line_no: int, line: str) -> TraceRecord:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise TraceFormatError(
+            f"{path}:{line_no}: malformed trace line "
+            f"({err.msg} at column {err.colno})"
+        ) from None
+    if not isinstance(obj, dict):
+        raise TraceFormatError(
+            f"{path}:{line_no}: trace line is not a JSON object"
+        )
+    if obj.get("v") != 1:
+        raise TraceFormatError(
+            f"{path}:{line_no}: unsupported trace schema "
+            f"version {obj.get('v')!r}"
+        )
+    missing = [k for k in _REQUIRED_KEYS if k not in obj]
+    if missing:
+        raise TraceFormatError(
+            f"{path}:{line_no}: trace line lacks required "
+            f"key(s) {', '.join(missing)}"
+        )
+    return TraceRecord(
+        kind=obj["kind"],
+        cat=obj["cat"],
+        name=obj["name"],
+        t0=obj["t0"],
+        t1=obj["t1"],
+        attrs=_freeze_attrs(obj.get("attrs", {})),
+        wall=obj.get("wall"),
+    )
+
+
+def iter_jsonl(path):
+    """Stream a schema-v1 JSONL trace one record at a time.
+
+    Constant memory: never materializes the record list, so analyses
+    built on it scale to arbitrarily long traces.  Malformed lines
+    (bad JSON, wrong schema version, missing keys) raise
+    :class:`TraceFormatError` anchored as ``path:line_no: message``.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            obj = json.loads(line)
-            if obj.get("v") != 1:
-                raise ValueError(
-                    f"{path}:{line_no}: unsupported trace schema "
-                    f"version {obj.get('v')!r}"
-                )
-            records.append(
-                TraceRecord(
-                    kind=obj["kind"],
-                    cat=obj["cat"],
-                    name=obj["name"],
-                    t0=obj["t0"],
-                    t1=obj["t1"],
-                    attrs=_freeze_attrs(obj.get("attrs", {})),
-                    wall=obj.get("wall"),
-                )
-            )
-    return records
+            yield _parse_line(path, line_no, line)
+
+
+def read_jsonl(path) -> list[TraceRecord]:
+    """Load a schema-v1 JSONL trace back into records."""
+    return list(iter_jsonl(path))

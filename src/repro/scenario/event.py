@@ -259,7 +259,7 @@ class ScenarioEventFleet(_EventFleet):
                 yield self.sim.timeout(outcome.modeled_update_time_s)
             if outcome.updated:
                 self._record_update(
-                    "init" if r == 0 else "rollout", trigger, outcome
+                    "init" if r == 0 else "rollout", trigger, outcome, stage=r
                 )
             yield from self._deliver_outcome(outcome, stage_hint=r)
             active_version = self.runtime.registry.active.version

@@ -39,6 +39,7 @@ from repro.fleet.simulation import (
     cloud_try_update,
     pooled_node_stage,
     reseed_diagnoser,
+    rollback_attrs,
 )
 from repro.fleet.uplink import SharedUplink, Transfer, model_state_bytes
 from repro.obs import metrics as obs_metrics
@@ -334,6 +335,7 @@ def _run_scenario_schedule(
                 system=config.system_id,
                 updated=outcome.updated,
                 promoted=outcome.promoted,
+                **rollback_attrs(outcome),
                 **(extra or {}),
             )
             for i in alive:

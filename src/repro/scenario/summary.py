@@ -199,4 +199,4 @@ def build_summary(
 
 def summary_json(summary: dict) -> str:
     """Canonical byte-stable rendering of a summary dict."""
-    return json.dumps(summary, sort_keys=True, indent=2) + "\n"
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"  # repro-lint: ignore[RPR016] the canonical summary artifact itself; byte-stability is pinned by the scenario-smoke CI diff

@@ -40,6 +40,7 @@ from repro.fleet.simulation import (
     cloud_try_update,
     pooled_node_stage,
     reseed_diagnoser,
+    rollback_attrs,
 )
 from repro.fleet.uplink import SharedUplink, Transfer
 from repro.obs.trace import Tracer
@@ -376,6 +377,7 @@ def run_topology_schedule(
                 updated=outcome.updated,
                 promoted=outcome.promoted,
                 tier="cloud",
+                **rollback_attrs(outcome),
             )
         cursor = update_end + stage_push_tail
 

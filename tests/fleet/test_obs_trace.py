@@ -19,7 +19,7 @@ from repro.fleet.simulation import (
     prepare_fleet_assets,
     run_fleet,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, Tracer, explain_divergence
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +66,9 @@ class TestLockstepTraceDeterminism:
     def test_rerun_is_byte_identical(self, assets, traced_serial):
         _, trace_a, metrics_a = traced_serial
         _, trace_b, metrics_b = _traced_lockstep(assets)
-        assert trace_a == trace_b
+        assert trace_a == trace_b, explain_divergence(
+            trace_a, trace_b, label_a="run1", label_b="run2"
+        )
         assert metrics_a == metrics_b
 
     def test_worker_pool_produces_identical_bytes(self, assets, traced_serial):
@@ -74,7 +76,9 @@ class TestLockstepTraceDeterminism:
         pooled_report, pooled_trace, pooled_metrics = _traced_lockstep(
             assets, workers=2
         )
-        assert pooled_trace == serial_trace
+        assert pooled_trace == serial_trace, explain_divergence(
+            pooled_trace, serial_trace, label_a="pooled", label_b="serial"
+        )
         assert pooled_metrics == serial_metrics
         assert _signature(pooled_report) == _signature(serial_report)
 
@@ -121,7 +125,9 @@ class TestEventTraceDeterminism:
 
         report_a, trace_a, metrics_a = run()
         report_b, trace_b, metrics_b = run()
-        assert trace_a == trace_b
+        assert trace_a == trace_b, explain_divergence(
+            trace_a, trace_b, label_a="run1", label_b="run2"
+        )
         assert metrics_a == metrics_b
         assert report_a.makespan_s == report_b.makespan_s
         assert trace_a  # non-empty: node, net, and cloud records

@@ -3,5 +3,5 @@
 
 ids = ["n3", "n1", "n2"]
 for node_id in sorted(set(ids)):
-    print(node_id)
+    schedule(node_id)
 order = sorted({"a", "b"} | {"c"})

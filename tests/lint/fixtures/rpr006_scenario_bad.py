@@ -3,5 +3,5 @@
 
 alive_ids = {3, 1, 2}
 for node_id in alive_ids - {2}:
-    print(node_id)
+    schedule(node_id)
 reconcile_order = list({"n0", "n1"})

@@ -3,5 +3,5 @@
 
 gateway_ids = {2, 0, 1}
 for gateway_id in sorted(gateway_ids & {0, 1}):
-    print(gateway_id)
+    schedule(gateway_id)
 flush_order = sorted({"gw0", "gw1"})

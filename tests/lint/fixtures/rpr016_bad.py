@@ -1,0 +1,9 @@
+"""Fixture: raw telemetry emission in an engine module (RPR016)."""
+# repro-lint: module=repro.fleet.fake
+
+import json
+
+stage_report = {"stage": 3, "makespan_s": 1.25}
+print("stage done", stage_report["stage"])
+json.dump(stage_report, open("stage.json", "w"))
+serialized = json.dumps(stage_report)

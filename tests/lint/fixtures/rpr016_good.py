@@ -1,0 +1,9 @@
+"""Fixture: telemetry through repro.obs (clean for RPR016)."""
+# repro-lint: module=repro.fleet.fake
+
+from repro.obs.trace import Tracer
+
+
+def record_stage(tracer: Tracer, stage: int, t0: float, t1: float) -> None:
+    tracer.span("fleet", "stage", t0, t1, stage=stage)
+    tracer.event("fleet", "stage-done", t1, stage=stage)

@@ -32,6 +32,7 @@ CASES = {
     "RPR013": ("rpr013_bad.py", "rpr013_good.py"),
     "RPR014": ("rpr014_bad.py", "rpr014_good.py"),
     "RPR015": ("rpr015_bad.py", "rpr015_good.py"),
+    "RPR016": ("rpr016_bad.py", "rpr016_good.py"),
 }
 
 EXPECTED_BAD_COUNTS = {
@@ -50,6 +51,7 @@ EXPECTED_BAD_COUNTS = {
     "RPR013": 2,  # direct literal default_rng, literal through a seed param
     "RPR014": 2,  # initializer subscript-write, transitive mutator call
     "RPR015": 2,  # import of fleet tier, from-import of topology tier
+    "RPR016": 3,  # print, json.dump, json.dumps
 }
 
 

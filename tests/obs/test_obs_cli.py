@@ -77,6 +77,74 @@ class TestCli:
         assert "records: 4" in capsys.readouterr().out
 
 
+class TestAnalysisCommands:
+    def test_critical_path_command(self, trace_path, capsys):
+        assert main(["critical-path", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical chain:" in out
+        assert "node.compute" in out
+
+    def test_critical_path_json(self, trace_path, capsys):
+        assert main(["critical-path", str(trace_path), "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["v"] == 1
+        assert obj["critical"]["path"]
+
+    def test_diff_identical_exits_zero(self, trace_path, capsys):
+        assert main(["diff", str(trace_path), str(trace_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_traces_exit_one(
+        self, trace_path, tmp_path, capsys
+    ):
+        lines = trace_path.read_text().splitlines()
+        obj = json.loads(lines[2])
+        obj["attrs"]["node"] = 9
+        lines[2] = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+        other = tmp_path / "other.jsonl"
+        other.write_text("\n".join(lines) + "\n")
+        assert main(["diff", str(trace_path), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at record 3" in out
+        assert "attrs.node" in out
+
+    def test_diff_json_documents(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"v": 1, "x": 2}, indent=2) + "\n")
+        b.write_text(json.dumps({"v": 1, "x": 3}, indent=2) + "\n")
+        assert main(["diff", str(a), str(a)]) == 0
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "$.x" in capsys.readouterr().out
+
+    def test_health_command_writes_report(
+        self, trace_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "health.json"
+        assert main(
+            ["health", str(trace_path), "-o", str(out_path)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "stragglers:" in text
+        report = json.loads(out_path.read_text())
+        assert report["v"] == 1
+        assert len(report["nodes"]) == 2
+
+    def test_health_json_output_is_byte_stable(self, trace_path, capsys):
+        assert main(["health", str(trace_path), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["health", str(trace_path), "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_malformed_trace_is_line_anchored(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v":1,"kind":"span","cat":"c","na\n')
+        for command in ("summarize", "critical-path", "health"):
+            assert main([command, str(path)]) == 1
+            out = capsys.readouterr().out
+            assert "error:" in out and "bad.jsonl:1:" in out
+
+
 class TestPhaseTable:
     def test_phase_table_renders_for_scenario_traces(self):
         tracer = Tracer()

@@ -70,6 +70,34 @@ class TestProfileSection:
         assert profile_stats()["test.block"]["calls"] == 1
 
 
+class TestDeterministicOrdering:
+    def test_stats_sorted_by_section_name(self):
+        """profile_stats() order is sorted, not insertion order."""
+        enable_profiling()
+        for name in ("zeta.section", "alpha.section", "mid.section"):
+            with profile_section(name):
+                pass
+        assert list(profile_stats()) == [
+            "alpha.section",
+            "mid.section",
+            "zeta.section",
+        ]
+
+    def test_order_is_insertion_independent(self):
+        enable_profiling()
+        with profile_section("b.section"):
+            pass
+        with profile_section("a.section"):
+            pass
+        first = list(profile_stats())
+        reset_profiling()
+        with profile_section("a.section"):
+            pass
+        with profile_section("b.section"):
+            pass
+        assert list(profile_stats()) == first == ["a.section", "b.section"]
+
+
 class TestToggles:
     def test_enable_disable_round_trip(self):
         assert not profiling_enabled()

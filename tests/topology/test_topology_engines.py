@@ -25,7 +25,7 @@ from repro.fleet import (
     run_fleet,
     run_fleet_event,
 )
-from repro.obs import Tracer
+from repro.obs import Tracer, explain_divergence
 from repro.topology import AggregationPolicy, Topology
 
 NUM_NODES = 4
@@ -97,7 +97,14 @@ class TestPassthroughIdentity:
         assert [s.eval_accuracy for s in report.stages] == [
             s.eval_accuracy for s in flat.stages
         ]
-        assert tracer.to_jsonl() == flat_tracer.to_jsonl()
+        assert tracer.to_jsonl() == flat_tracer.to_jsonl(), (
+            explain_divergence(
+                tracer.to_jsonl(),
+                flat_tracer.to_jsonl(),
+                label_a="passthrough",
+                label_b="flat",
+            )
+        )
         # the delegated run is a flat run: no gateway artifacts
         assert report.gateway_stages == []
         assert report.topology.is_passthrough
@@ -117,7 +124,14 @@ class TestPassthroughIdentity:
         )
         assert report.final_eval_accuracy == flat.final_eval_accuracy
         assert report.ledger.snapshot() == flat.ledger.snapshot()
-        assert tracer.to_jsonl() == flat_tracer.to_jsonl()
+        assert tracer.to_jsonl() == flat_tracer.to_jsonl(), (
+            explain_divergence(
+                tracer.to_jsonl(),
+                flat_tracer.to_jsonl(),
+                label_a="passthrough",
+                label_b="flat",
+            )
+        )
 
     def test_flat_run_has_zero_tier_fields(self, flat_lock):
         snap = flat_lock[0].ledger.snapshot()
